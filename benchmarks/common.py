@@ -1,0 +1,103 @@
+"""Shared infrastructure for the per-figure/table benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper at a scale
+controlled by ``REPRO_BENCH_SCALE``:
+
+* ``small`` (default) — topologies of ~30-90 routers, enough cycles for
+  the qualitative curves; the full harness runs in minutes on a laptop.
+* ``medium`` — ~180-340 routers, longer runs.
+
+Simulation-based benches print the same rows/series the paper plots; the
+shapes (who wins, roughly by what factor, where crossovers fall) are the
+reproduction target — absolute cycle counts differ from BookSim's.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import (
+    Dragonfly,
+    FatTree,
+    Jellyfish,
+    PolarFly,
+    SlimFly,
+)
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+#: simulation windows per scale
+SIM_PARAMS = {
+    "small": dict(warmup=250, measure=500, drain=200),
+    "medium": dict(warmup=400, measure=800, drain=300),
+}[SCALE]
+
+#: offered loads swept in latency-vs-load figures
+LOADS = (0.2, 0.5, 0.8, 0.95)
+
+
+def table_v_configs():
+    """Scaled analogues of the paper's Table V configurations.
+
+    Scale "small" pins every direct network near PF(7)'s 57 routers with
+    p=2 endpoints, mirroring the paper's iso-scale comparison (Table V
+    pins everything near PF(31)'s 993 routers):
+
+    * PF   q=7  -> 57 routers, radix 8
+    * SF   q=5  -> 50 routers, radix 7
+    * DF1  balanced a=4,h=2,p=2 -> 36 routers, radix 5
+    * DF2  radix-equivalent a=3,h=6 -> 57 routers, radix 8
+    * JF   57 routers, radix 8
+    * FT   3-level 4-ary -> 48 switches, 64 endpoints
+    """
+    if SCALE == "small":
+        return {
+            "PF": PolarFly(7, concentration=2),
+            "SF": SlimFly(5, concentration=2),
+            "DF1": Dragonfly(a=4, h=2, p=2),
+            "DF2": Dragonfly(a=3, h=6, p=2),
+            "JF": Jellyfish(n=57, r=8, p=2, seed=7),
+            "FT": FatTree(k=4, n=3),
+        }
+    return {
+        "PF": PolarFly(13, concentration=4),
+        "SF": SlimFly(9, concentration=4),
+        "DF1": Dragonfly(a=6, h=3, p=3),
+        "DF2": Dragonfly(a=4, h=11, p=4),
+        "JF": Jellyfish(n=183, r=14, p=4, seed=7),
+        "FT": FatTree(k=6, n=3),
+    }
+
+
+def make_config(policy, port_budget: int = 32):
+    """SimConfig with enough VCs for ``policy`` and a fixed port buffer.
+
+    Mirrors the paper's methodology: the total buffer per port stays
+    constant (their 128 flits; 32 at bench scale) while the VC count
+    covers the policy's worst-case hop count (Valiant on a diameter-3
+    baseline needs 6 hops -> 5 VCs).
+    """
+    from repro.flitsim import SimConfig
+
+    vcs = max(4, policy.max_hops - 1)
+    return SimConfig(num_vcs=vcs, vc_depth=max(2, port_budget // vcs))
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print an aligned text table (the bench 'figure')."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def print_series(title: str, series: dict) -> None:
+    """Print labelled (x, y) series, one per curve of a figure."""
+    print(f"\n=== {title} ===")
+    for label, points in series.items():
+        txt = "  ".join(f"({x:g},{y:.3g})" for x, y in points)
+        print(f"  {label:<16} {txt}")

@@ -1,0 +1,24 @@
+"""Benchmark fixtures: share expensive topology/table construction."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import table_v_configs  # noqa: E402
+
+from repro.routing import RoutingTables  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def configs():
+    """The scaled Table V topologies."""
+    return table_v_configs()
+
+
+@pytest.fixture(scope="session")
+def routing_tables(configs):
+    """Routing tables per topology (built once per session)."""
+    return {name: RoutingTables(topo) for name, topo in configs.items()}

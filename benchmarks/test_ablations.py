@@ -1,0 +1,153 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* UGAL_PF adaptation threshold (0 -> always compare, 1 -> never divert);
+* Compact Valiant vs general Valiant intermediates;
+* router buffer depth sensitivity;
+* spectral-only vs KL-refined bisection quality.
+"""
+
+import numpy as np
+from common import SIM_PARAMS, make_config, print_table
+
+from repro import PolarFly, SlimFly
+from repro.analysis.bisection import bisection_cut
+from repro.flitsim import (
+    NetworkSimulator,
+    RandomPermutationTraffic,
+    SimConfig,
+    TornadoTraffic,
+    UniformTraffic,
+)
+from repro.routing import (
+    CompactValiantRouting,
+    MinimalRouting,
+    RoutingTables,
+    UGALPFRouting,
+    ValiantRouting,
+)
+
+
+def test_abl_ugalpf_threshold(benchmark, configs, routing_tables):
+    """Threshold sweep: 0 behaves like UGAL, 1 like MIN; 2/3 is the knee."""
+    pf, tables = configs["PF"], routing_tables["PF"]
+
+    # Note: the occupancy estimate includes local VOQ backlog, so it can
+    # exceed the buffer capacity — "off" therefore needs a huge threshold,
+    # not 1.0.
+    OFF = 1e9
+
+    def run():
+        out = {}
+        for thr in (0.0, 1 / 3, 2 / 3, OFF):
+            policy = UGALPFRouting(tables, threshold=thr)
+            sim = NetworkSimulator(
+                pf, policy, TornadoTraffic(pf), 0.7,
+                config=make_config(policy), seed=31,
+            )
+            res = sim.run(**SIM_PARAMS)
+            out[thr] = (res.accepted_load, res.avg_latency, res.avg_hops)
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["off" if thr == OFF else f"{thr:.2f}", f"{acc:.3f}", f"{lat:.1f}", f"{hops:.2f}"]
+        for thr, (acc, lat, hops) in res.items()
+    ]
+    print_table(
+        "Ablation: UGAL_PF threshold under tornado @ 0.7",
+        ["threshold", "accepted", "latency", "avg hops"],
+        rows,
+    )
+    p = int(pf.concentration[0])
+    # Adaptation off -> min-path cap ~1/p of injection bandwidth.
+    assert res[OFF][0] <= 1 / p + 0.08
+    # the paper's 2/3 must clearly beat no adaptation.
+    assert res[2 / 3][0] > res[OFF][0] * 1.2
+    # lower thresholds divert more -> more average hops.
+    assert res[0.0][2] >= res[2 / 3][2] - 0.05
+
+
+def test_abl_compact_vs_general_valiant(benchmark, configs, routing_tables):
+    """Compact Valiant buys shorter detours at equal-or-better throughput."""
+    pf, tables = configs["PF"], routing_tables["PF"]
+
+    def run():
+        out = {}
+        for name, policy in (
+            ("general", ValiantRouting(tables)),
+            ("compact", CompactValiantRouting(tables)),
+        ):
+            sim = NetworkSimulator(
+                pf, policy, RandomPermutationTraffic(pf, seed=2), 0.5,
+                config=make_config(policy), seed=33,
+            )
+            res = sim.run(**SIM_PARAMS)
+            out[name] = (res.accepted_load, res.avg_latency, res.avg_hops)
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, f"{acc:.3f}", f"{lat:.1f}", f"{hops:.2f}"]
+        for name, (acc, lat, hops) in res.items()
+    ]
+    print_table(
+        "Ablation: Valiant intermediates (randperm @ 0.5)",
+        ["variant", "accepted", "latency", "avg hops"],
+        rows,
+    )
+    # Compact detours are strictly shorter on average (<= 3 vs <= 4 hops).
+    assert res["compact"][2] < res["general"][2]
+
+
+def test_abl_buffer_depth(benchmark, configs, routing_tables):
+    """Deeper buffers absorb burstiness; tiny ones throttle throughput."""
+    pf, tables = configs["PF"], routing_tables["PF"]
+    policy = MinimalRouting(tables)
+
+    def run():
+        out = {}
+        for depth in (2, 8, 32):
+            cfg = SimConfig(num_vcs=4, vc_depth=depth)
+            sim = NetworkSimulator(
+                pf, policy, UniformTraffic(pf), 0.8, config=cfg, seed=35
+            )
+            res = sim.run(**SIM_PARAMS)
+            out[depth] = (res.accepted_load, res.avg_latency)
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [d, f"{acc:.3f}", f"{lat:.1f}"] for d, (acc, lat) in res.items()
+    ]
+    print_table(
+        "Ablation: VC buffer depth (uniform @ 0.8, MIN)",
+        ["vc_depth", "accepted", "latency"],
+        rows,
+    )
+    assert res[8][0] >= res[2][0]
+    assert res[32][0] >= res[2][0]
+
+
+def test_abl_bisection_refinement(benchmark):
+    """KL refinement must not worsen, and usually improves, the cut."""
+
+    def run():
+        out = {}
+        for topo in (PolarFly(9), SlimFly(7)):
+            _, cut_spec = bisection_cut(topo.graph, refine=False)
+            _, cut_kl = bisection_cut(topo.graph, refine=True)
+            out[topo.name] = (cut_spec, cut_kl, topo.num_links)
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name, spec, kl, m, f"{kl / m:.3f}"]
+        for name, (spec, kl, m) in res.items()
+    ]
+    print_table(
+        "Ablation: spectral vs spectral+KL bisection",
+        ["topology", "spectral cut", "+KL cut", "links", "final fraction"],
+        rows,
+    )
+    for name, (spec, kl, _m) in res.items():
+        assert kl <= spec, name

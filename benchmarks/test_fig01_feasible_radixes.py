@@ -1,0 +1,34 @@
+"""Figure 1 — design space of feasible network radixes (SF vs PF vs PF+).
+
+Paper bars: SlimFly [6, 11, 17, 19, 26, 32], PolarFly [9, 17, 22, 26, 34,
+43], PolarFly+ [12, 23, 33, 39, 53, 68] at ceilings 16..128.  Our SF/PF
+counts match exactly; PF+ (whose counting rule the paper leaves implicit)
+matches at <=16 and stays within 3 elsewhere.
+"""
+
+from common import print_table
+
+from repro.analysis import feasible_radix_counts
+
+PAPER = {
+    "SlimFly": [6, 11, 17, 19, 26, 32],
+    "PolarFly": [9, 17, 22, 26, 34, 43],
+    "PolarFly+": [12, 23, 33, 39, 53, 68],
+}
+
+
+def test_fig01_feasible_radixes(benchmark):
+    counts = benchmark.pedantic(feasible_radix_counts, rounds=1, iterations=1)
+    rows = []
+    for name in ("SlimFly", "PolarFly", "PolarFly+"):
+        rows.append([name, *counts[name]])
+        rows.append([f"  (paper)", *PAPER[name]])
+    print_table(
+        "Figure 1: feasible radix counts per ceiling",
+        ["family", *[f"<= {c}" for c in counts["ceilings"]]],
+        rows,
+    )
+    assert counts["SlimFly"] == PAPER["SlimFly"]
+    assert counts["PolarFly"] == PAPER["PolarFly"]
+    # PolarFly offers ~50% more designs than Slim Fly asymptotically.
+    assert counts["PolarFly"][-1] / counts["SlimFly"][-1] > 1.3

@@ -1,0 +1,36 @@
+"""Figure 2 — scalability of diameter-2 topologies vs the Moore bound.
+
+Series: percentage of the diameter-2 Moore bound (k^2 + 1) achieved by
+PolarFly, Slim Fly, HyperX and the two known Moore graphs, as a function
+of network degree up to 128.
+"""
+
+from common import print_series
+
+from repro.analysis import moore_efficiency_curve
+
+
+def test_fig02_moore_bound(benchmark):
+    curves = benchmark.pedantic(
+        moore_efficiency_curve, args=(128,), rounds=1, iterations=1
+    )
+    print_series(
+        "Figure 2: % of Moore bound vs degree",
+        {
+            name: [(k, 100 * v) for k, v in pts]
+            for name, pts in curves.items()
+        },
+    )
+    pf = dict(curves["PolarFly"])
+    sf = dict(curves["SlimFly"])
+    hx = dict(curves["HyperX"])
+    # PolarFly reaches >96% for moderate radixes and dominates at k >= 10.
+    assert pf[32] > 0.96 and pf[48] > 0.96 and pf[128] > 0.96
+    for k in set(pf) & set(sf):
+        if k >= 10:
+            assert pf[k] > sf[k]
+    for k in set(pf) & set(hx):
+        if k >= 10:
+            assert pf[k] > hx[k]
+    # Moore graphs are the 100% reference points.
+    assert dict(curves["Moore graphs"]) == {3: 1.0, 7: 1.0}

@@ -1,0 +1,65 @@
+"""Figure 11 — throughput of incrementally expanded PolarFly.
+
+The paper grows PF(31) by 3/6/9/12 racks (~10-39%) with each scheme and
+measures UGAL_PF throughput under uniform traffic: quadric replication
+costs ~31% of peak at +39% size, non-quadric replication only ~19%, and
+successive non-quadric steps flatten out.  Scaled here to PF(7) grown by
+1-3 racks.
+"""
+
+from common import SCALE, SIM_PARAMS, make_config, print_table
+
+from repro import PolarFly
+from repro.core import replicate_nonquadric_clusters, replicate_quadrics
+from repro.flitsim import NetworkSimulator, UniformTraffic
+from repro.routing import RoutingTables, UGALPFRouting
+
+Q = 7 if SCALE == "small" else 13
+P = (Q + 1) // 2
+LOAD = 0.85
+
+
+def throughput(topo):
+    tables = RoutingTables(topo)
+    policy = UGALPFRouting(tables)
+    sim = NetworkSimulator(
+        topo, policy, UniformTraffic(topo), LOAD,
+        config=make_config(policy), seed=13,
+    )
+    return sim.run(**SIM_PARAMS).accepted_load
+
+
+def test_fig11_expansion(benchmark):
+    def run():
+        base = PolarFly(Q, concentration=P)
+        results = {"PF (base)": (base.num_routers, throughput(base))}
+        for t in (1, 2, 3):
+            exq = replicate_quadrics(base, t, concentration=P)
+            results[f"+{t} quadric"] = (exq.num_routers, throughput(exq))
+            exn = replicate_nonquadric_clusters(base, t, concentration=P)
+            results[f"+{t} nonquadric"] = (exn.num_routers, throughput(exn))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_n, base_thru = results["PF (base)"]
+    rows = [
+        [name, n, f"{n / base_n - 1:+.0%}", f"{thru:.3f}", f"{thru / base_thru:.0%}"]
+        for name, (n, thru) in results.items()
+    ]
+    print_table(
+        f"Figure 11: expanded PF(q={Q}) UGAL_PF throughput @ load {LOAD}",
+        ["network", "routers", "growth", "accepted", "vs base"],
+        rows,
+    )
+
+    # Shape: non-quadric replication retains at least as much throughput
+    # as quadric replication at equal step count, and neither collapses.
+    for t in (2, 3):
+        nq = results[f"+{t} nonquadric"][1]
+        qd = results[f"+{t} quadric"][1]
+        assert nq >= qd - 0.05, (t, nq, qd)
+    assert results["+3 nonquadric"][1] > 0.5 * base_thru
+    # Successive non-quadric steps flatten: step 2->3 loses little.
+    n2 = results["+2 nonquadric"][1]
+    n3 = results["+3 nonquadric"][1]
+    assert n3 > 0.85 * n2

@@ -1,0 +1,66 @@
+"""Figure 13 — layout structure of ER_17 vs ER_19.
+
+The figure renders the cluster fans of two adjacent prime cases:
+q = 17 = 1 (mod 4) pairs fan wings within a layer (V1 with V1, V2 with
+V2 — no vertical edges inside a cluster), while q = 19 = 3 (mod 4) pairs
+across layers (every fan triangle joins a V1 wing to a V2 wing).
+
+The bench regenerates the figure's data: per-cluster triangle wing types
+plus layered coordinates (cluster angle, layer, within-layer slot) that a
+plotting tool could render directly.
+"""
+
+from collections import Counter
+
+import numpy as np
+from common import print_table
+
+from repro.core import ClusterLayout, PolarFly
+
+
+def layout_render_data(q):
+    """Wing-type census and (cluster, layer, slot) coordinates for ER_q."""
+    pf = PolarFly(q)
+    lay = ClusterLayout(pf)
+    wing_pairs = Counter()
+    for i in range(1, q + 1):
+        for tri in lay.fan_triangles(i):
+            wings = tuple(
+                sorted(pf.vertex_class(v) for v in tri if v != lay.center(i))
+            )
+            wing_pairs[wings] += 1
+    # Coordinates: angle per cluster, layer 0=W, 1=V1, 2=V2.
+    layer = np.where(pf.quadric_mask, 0, np.where(pf.v1_mask, 1, 2))
+    coords = np.column_stack([lay.cluster_of, layer])
+    return pf, lay, wing_pairs, coords
+
+
+def test_fig13_layout(benchmark):
+    def run():
+        return {q: layout_render_data(q) for q in (17, 19)}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for q, (pf, lay, wings, coords) in data.items():
+        for pair, count in sorted(wings.items()):
+            rows.append([f"q={q} ({q % 4} mod 4)", "+".join(pair), count])
+    print_table(
+        "Figure 13: fan-wing type pairing per cluster triangle",
+        ["graph", "wing types", "triangles"],
+        rows,
+    )
+
+    # q=17: wings pair within a layer -> only (V1,V1) and (V2,V2).
+    _, _, wings17, coords17 = data[17]
+    assert set(wings17) <= {("V1", "V1"), ("V2", "V2")}
+    assert sum(wings17.values()) == 17 * (17 - 1) // 2
+
+    # q=19: wings pair across layers -> only (V1,V2).
+    _, _, wings19, _ = data[19]
+    assert set(wings19) == {("V1", "V2")}
+    assert sum(wings19.values()) == 19 * (19 - 1) // 2
+
+    # Coordinates cover every vertex exactly once per cluster assignment.
+    pf17 = data[17][0]
+    assert coords17.shape == (pf17.num_routers, 2)
+    assert set(np.unique(coords17[:, 1]).tolist()) == {0, 1, 2}

@@ -1,0 +1,54 @@
+"""Figure 14 — diameter and ASPL vs link-failure ratio.
+
+Random link-failure sweeps (median-disconnection run, per the paper's
+methodology) across the Table V configurations.  Shape targets: PolarFly's
+diameter jumps to 3-4 with the first failures and then *stays* at ~4 deep
+into the sweep (Theta(q^2) 4-hop diversity); PF/SF disconnect earlier than
+Jellyfish-like expanders only marginally; ASPL degrades gracefully.
+"""
+
+from common import SCALE, print_table
+
+from repro.analysis import median_disconnection_sweep
+
+STEPS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.55, 0.7, 0.85]
+RUNS = 3 if SCALE == "small" else 7
+
+
+def test_fig14_resilience(benchmark, configs):
+    def run():
+        out = {}
+        for name, topo in configs.items():
+            out[name] = median_disconnection_sweep(
+                topo.graph, runs=RUNS, steps=STEPS, seed=17
+            )
+        return out
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, sweep in sweeps.items():
+        for ratio, diam, aspl in zip(sweep.ratios, sweep.diameters, sweep.aspl):
+            rows.append(
+                [name, f"{ratio:.2f}",
+                 diam if diam >= 0 else "disc",
+                 f"{aspl:.2f}" if aspl != float("inf") else "inf"]
+            )
+    print_table(
+        "Figure 14: diameter / ASPL vs link failure ratio (median run)",
+        ["network", "failed", "diameter", "ASPL"],
+        rows,
+    )
+
+    pf = sweeps["PF"]
+    # Intact network: diameter 2.
+    assert pf.diameters[0] == 2
+    # Early failures push PolarFly to diameter 3-4 (quadric links have no
+    # 2/3-hop alternatives) ...
+    if len(pf.diameters) > 2 and pf.diameters[2] >= 0:
+        assert 3 <= pf.diameters[2] <= 5
+    # ... and it survives deep into the sweep.
+    assert pf.disconnection_ratio >= 0.4
+    # ASPL stays graceful while connected.
+    for diam, aspl in zip(pf.diameters, pf.aspl):
+        if diam >= 0:
+            assert aspl < 4.0

@@ -1,0 +1,38 @@
+"""Figure 15 — network cost per node, normalized to PolarFly.
+
+Iso-injection-bandwidth OIO cost model at ~1,024 nodes, for uniform and
+permutation traffic.  Paper bars: uniform 1 / 1.24 / 1.81 / 5.19 and
+permutation 1 / 1.21 / 2.25 / 2.68 (PF / SF / DF / FT); the model
+reproduces them within ~10%.
+"""
+
+from common import print_table
+
+from repro.analysis import NORMALIZED_COSTS, cost_comparison
+
+
+def test_fig15_cost(benchmark):
+    ours = benchmark.pedantic(cost_comparison, rounds=1, iterations=1)
+    rows = []
+    for scenario in ("uniform", "permutation"):
+        for name in NORMALIZED_COSTS[scenario]:
+            rows.append(
+                [scenario, name,
+                 f"{ours[scenario][name]:.2f}",
+                 f"{NORMALIZED_COSTS[scenario][name]:.2f}"]
+            )
+    print_table(
+        "Figure 15: normalized network cost (iso injection bandwidth)",
+        ["scenario", "topology", "model", "paper"],
+        rows,
+    )
+    for scenario in ("uniform", "permutation"):
+        costs = ours[scenario]
+        assert costs["PolarFly"] == 1.0
+        assert costs["PolarFly"] < costs["Slim Fly"] < costs["Dragonfly"]
+        assert costs["Fat-tree"] == max(costs.values())
+        for name, paper in NORMALIZED_COSTS[scenario].items():
+            assert abs(costs[name] - paper) / paper < 0.12, (scenario, name)
+    # Headline: 5.19x vs fat tree under uniform, 2.68x under permutation.
+    assert ours["uniform"]["Fat-tree"] > 4.5
+    assert 2.3 < ours["permutation"]["Fat-tree"] < 3.1

@@ -1,0 +1,59 @@
+"""Performance microbenchmarks of the computational kernels.
+
+Unlike the figure/table regenerators (single-shot experiment drivers),
+these use pytest-benchmark's statistical timing to track the hot kernels
+the hpc guides say to watch: field-table construction, the vectorized
+ER_q adjacency build, all-pairs BFS, and simulator cycle throughput.
+"""
+
+from common import SCALE
+
+from repro.core import PolarFly
+from repro.fields.galois import FiniteField
+from repro.flitsim import NetworkSimulator, UniformTraffic
+from repro.routing import MinimalRouting, RoutingTables
+
+Q_BUILD = 31 if SCALE == "small" else 61
+
+
+def test_perf_field_tables(benchmark):
+    """GF(q) table construction (add/mul/inv via discrete logs)."""
+    benchmark.pedantic(
+        FiniteField, args=(Q_BUILD,), rounds=3, iterations=1
+    )
+
+
+def test_perf_polarfly_construction(benchmark):
+    """Full PolarFly(31) build: 993 routers via broadcast dot products."""
+    pf = benchmark.pedantic(PolarFly, args=(Q_BUILD,), rounds=3, iterations=1)
+    assert pf.num_routers == Q_BUILD * Q_BUILD + Q_BUILD + 1
+
+
+def test_perf_all_pairs_bfs(benchmark):
+    """Routing-table build = N frontier BFS passes on PF(13)."""
+    pf = PolarFly(13, concentration=1)
+    tables = benchmark.pedantic(RoutingTables, args=(pf,), rounds=3, iterations=1)
+    assert int(tables.dist.max()) == 2
+
+
+def test_perf_simulator_cycles(benchmark):
+    """Simulator cycle rate: 200 cycles of PF(7) p=2 at moderate load."""
+    pf = PolarFly(7, concentration=2)
+    tables = RoutingTables(pf)
+    policy = MinimalRouting(tables)
+
+    def run_200():
+        sim = NetworkSimulator(pf, policy, UniformTraffic(pf), 0.5, seed=0)
+        for _ in range(200):
+            sim.step()
+        return sim
+
+    sim = benchmark.pedantic(run_200, rounds=3, iterations=1)
+    assert sim.now == 200
+
+
+def test_perf_triangle_enumeration(benchmark):
+    """Triangle census on PF(13) (used by the structure theorems)."""
+    pf = PolarFly(13)
+    tris = benchmark.pedantic(pf.graph.triangles, rounds=3, iterations=1)
+    assert len(tris) == 14 * 13 * 12 // 6

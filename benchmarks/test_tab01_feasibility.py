@@ -1,0 +1,22 @@
+"""Table I — feasibility criteria matrix for candidate topologies."""
+
+from common import print_table
+
+from repro.analysis import FEASIBILITY_TABLE
+
+MARK = {"full": "Y", "partial": "~", "no": "x"}
+
+
+def test_tab01_feasibility(benchmark):
+    def build():
+        return FEASIBILITY_TABLE
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    criteria = ["direct", "modular", "expandable", "flexible", "diameter2"]
+    rows = [
+        [name, *(MARK[table[name][c]] for c in criteria)] for name in table
+    ]
+    print_table("Table I: feasibility", ["topology", *criteria], rows)
+    # PolarFly is the uniquely best row (most 'full' marks).
+    fulls = {n: sum(v == "full" for v in r.values()) for n, r in table.items()}
+    assert max(fulls, key=fulls.get) == "PolarFly"

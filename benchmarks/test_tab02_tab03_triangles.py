@@ -1,0 +1,63 @@
+"""Tables II & III — triangle distribution and intermediate-vertex types.
+
+Table II: counts of inter-cluster triangles by vertex-type signature for
+q = 1 mod 4 and q = 3 mod 4 (closed forms vs full graph census).
+Table III: type of the alternative-path midpoint for adjacent non-quadric
+pairs.
+"""
+
+from common import SCALE, print_table
+
+from repro.core import PolarFly
+from repro.core.triangles import (
+    expected_inter_cluster_distribution,
+    expected_intermediate_type,
+    intermediate_type_census,
+    triangle_type_distribution,
+)
+
+QS = (5, 7, 9, 11) if SCALE == "small" else (5, 7, 9, 11, 13, 17, 19)
+
+
+def test_tab02_triangle_distribution(benchmark):
+    def census():
+        out = {}
+        for q in QS:
+            pf = PolarFly(q)
+            out[q] = triangle_type_distribution(pf)["inter"]
+        return out
+
+    observed = benchmark.pedantic(census, rounds=1, iterations=1)
+    sigs = ["v1v1v1", "v1v1v2", "v1v2v2", "v2v2v2"]
+    rows = []
+    for q in QS:
+        expected = expected_inter_cluster_distribution(q)
+        rows.append(
+            [f"q={q} (q%4={q % 4})", *(observed[q].get(s, 0) for s in sigs)]
+        )
+        rows.append(["  (closed form)", *(expected[s] for s in sigs)])
+        for s in sigs:
+            assert observed[q].get(s, 0) == expected[s], (q, s)
+    print_table("Table II: inter-cluster triangles by type", ["q", *sigs], rows)
+
+
+def test_tab03_intermediate_types(benchmark):
+    def census():
+        out = {}
+        for q in QS:
+            out[q] = intermediate_type_census(PolarFly(q))
+        return out
+
+    observed = benchmark.pedantic(census, rounds=1, iterations=1)
+    rows = []
+    for q in QS:
+        for (a, b), counter in sorted(observed[q].items()):
+            want = expected_intermediate_type(q, a, b)
+            got = "/".join(sorted(counter))
+            rows.append([f"q={q}", f"({a},{b})", got, want])
+            assert set(counter) == {want}, (q, a, b)
+    print_table(
+        "Table III: midpoint type for adjacent non-quadric pairs",
+        ["q", "endpoint types", "observed", "paper"],
+        rows,
+    )

@@ -1,0 +1,65 @@
+"""Table IV — characteristics of the two expansion methods.
+
+Columns: scalability (nodes per unit radix increase), degree spread,
+diameter, average shortest path length, rewiring (always none —
+verified structurally: all original edges survive).
+"""
+
+from common import SCALE, print_table
+
+from repro.core import PolarFly, replicate_nonquadric_clusters, replicate_quadrics
+
+Q = 7 if SCALE == "small" else 13
+TIMES = 3
+
+
+def test_tab04_expansion(benchmark):
+    def measure():
+        pf = PolarFly(Q)
+        base_max = int(pf.graph.degree().max())
+        original = {tuple(e) for e in pf.graph.edges().tolist()}
+        out = {}
+        for name, fn in (
+            ("Replicate Quadrics", replicate_quadrics),
+            ("Replicate Non-Quadrics", replicate_nonquadric_clusters),
+        ):
+            ex = fn(pf, TIMES)
+            deg = ex.graph.degree()
+            expanded = {tuple(e) for e in ex.graph.edges().tolist()}
+            out[name] = dict(
+                scalability=(ex.num_routers - pf.num_routers)
+                / (int(deg.max()) - base_max),
+                spread=int(deg.max() - deg.min()),
+                diameter=ex.diameter(),
+                aspl=ex.average_shortest_path_length(),
+                rewired=not (original <= expanded),
+            )
+        return out
+
+    res = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{m['scalability']:.1f}",
+            m["spread"],
+            m["diameter"],
+            f"{m['aspl']:.3f}",
+            "None" if not m["rewired"] else "REWIRED!",
+        ]
+        for name, m in res.items()
+    ]
+    rows.append(["(paper: quadric)", f"{(Q + 1) / 2:.1f}", "non-uniform", 2, "<2", "None"])
+    rows.append(["(paper: non-quadric)", f"~{Q}", "uniform", 3, "<2", "None"])
+    print_table(
+        f"Table IV: expansion methods on PF(q={Q}), {TIMES} steps",
+        ["method", "nodes/radix", "deg spread", "D", "ASPL", "rewiring"],
+        rows,
+    )
+    quad = res["Replicate Quadrics"]
+    nonq = res["Replicate Non-Quadrics"]
+    assert quad["diameter"] == 2 and nonq["diameter"] == 3
+    assert quad["scalability"] == (Q + 1) / 2
+    assert nonq["scalability"] > quad["scalability"]
+    assert nonq["aspl"] < 2.0
+    assert not quad["rewired"] and not nonq["rewired"]
+    assert nonq["spread"] < quad["spread"]  # near-uniform degrees

@@ -1,0 +1,76 @@
+"""Table V — simulated configurations (scaled analogues).
+
+The paper's table pins every topology near PF(31)'s 993 routers; the
+scaled harness pins everything near PF(7)'s 57 routers with the same
+iso-scale intent.  This bench prints both and checks the full-size
+constructions' numbers match the paper exactly.
+"""
+
+from common import print_table
+
+from repro import Dragonfly, FatTree, PolarFly, SlimFly
+
+PAPER_ROWS = [
+    ("PolarFly (PF)", "q=31, p=16", 993, 32),
+    ("Slim Fly (SF)", "q=23, p=18", 1058, 35),
+    ("Balanced Dragonfly (DF1)", "a=12, h=6, p=6", 876, 17),
+    ("Equivalent Dragonfly (DF2)", "a=6, h=27, p=10", 978, 32),
+    ("Jellyfish (JF)", "-", 993, 32),
+    ("Fat Tree (FT)", "n=3, k=18", 972, 36),
+]
+
+
+def test_tab05_full_size_configs_match_paper(benchmark):
+    """Construct the paper's exact (full-size) topologies and verify."""
+
+    def build():
+        pf = PolarFly(31)
+        sf = SlimFly(23)
+        df1 = Dragonfly(a=12, h=6, p=6)
+        df2 = Dragonfly(a=6, h=27, p=10)
+        ft = FatTree(k=18, n=3)
+        return pf, sf, df1, df2, ft
+
+    pf, sf, df1, df2, ft = benchmark.pedantic(build, rounds=1, iterations=1)
+    ours = [
+        ("PolarFly (PF)", pf.num_routers, pf.network_radix),
+        ("Slim Fly (SF)", sf.num_routers, sf.network_radix),
+        ("Balanced Dragonfly (DF1)", df1.num_routers, df1.network_radix),
+        ("Equivalent Dragonfly (DF2)", df2.num_routers, df2.network_radix),
+        ("Fat Tree (FT)", ft.num_routers, ft.total_radix),
+    ]
+    rows = [
+        [name, params, routers, radix] for name, params, routers, radix in PAPER_ROWS
+    ]
+    print_table(
+        "Table V (paper configurations)",
+        ["network", "parameters", "routers", "radix"],
+        rows,
+    )
+    expected = {name: (n, k) for name, _p, n, k in PAPER_ROWS}
+    for name, n, k in ours:
+        assert (n, k) == expected[name], name
+    # Diameters as designed.
+    assert pf.diameter() == 2
+    assert df1.diameter() == 3
+
+
+def test_tab05_scaled_configs(benchmark, configs):
+    def summarize():
+        return [
+            [
+                name,
+                topo.num_routers,
+                topo.network_radix,
+                topo.num_endpoints,
+                topo.diameter(),
+            ]
+            for name, topo in configs.items()
+        ]
+
+    rows = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    print_table(
+        "Table V (scaled harness analogues)",
+        ["network", "routers", "radix", "endpoints", "diameter"],
+        rows,
+    )

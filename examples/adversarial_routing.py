@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Adaptive routing under adversarial traffic (paper Figures 8-9).
+
+Run:  python examples/adversarial_routing.py
+
+PolarFly has exactly one minimal path per router pair, so permutation
+patterns are worst-case for minimal routing: all p endpoints of a router
+share one path (throughput cap 1/p).  This script pits the paper's routing
+protocols against each other on three patterns:
+
+* uniform random   — minimal routing is near-optimal;
+* tornado          — classic adversarial shift;
+* Perm1Hop         — every router talks to a direct neighbor, the pattern
+                     that stresses UGAL_PF's 4-hop Valiant fallback.
+
+Protocols: MIN, UGAL (general Valiant), UGAL_PF (Compact Valiant + 2/3
+occupancy threshold, the paper's contribution).
+"""
+
+from repro import (
+    MinimalRouting,
+    NetworkSimulator,
+    OneHopPermutationTraffic,
+    PolarFly,
+    RoutingTables,
+    TornadoTraffic,
+    UGALPFRouting,
+    UGALRouting,
+    UniformTraffic,
+)
+
+
+def run_point(topo, policy, traffic, load):
+    sim = NetworkSimulator(topo, policy, traffic, load, seed=7)
+    return sim.run(warmup=300, measure=600, drain=200)
+
+
+def main() -> None:
+    pf = PolarFly(7, concentration=2)
+    tables = RoutingTables(pf)
+    policies = {
+        "MIN": MinimalRouting(tables),
+        "UGAL": UGALRouting(tables),
+        "UGAL_PF": UGALPFRouting(tables),
+    }
+    patterns = {
+        "uniform": UniformTraffic(pf),
+        "tornado": TornadoTraffic(pf),
+        "perm1hop": OneHopPermutationTraffic(pf, seed=0),
+    }
+
+    print(f"=== Routing on PolarFly(7), {pf.num_routers} routers, p=2 ===\n")
+    for pat_name, traffic in patterns.items():
+        print(f"--- {pat_name} traffic ---")
+        print(f"  {'policy':<8} {'load':>5} {'accepted':>9} {'latency':>9}")
+        for pol_name, policy in policies.items():
+            for load in (0.3, 0.6, 0.9):
+                res = run_point(pf, policy, traffic, load)
+                print(
+                    f"  {pol_name:<8} {load:>5.2f} "
+                    f"{res.accepted_load:>9.3f} {res.avg_latency:>8.1f}c"
+                )
+        print()
+
+    print(
+        "Expected shape (paper Figs 8-9): under uniform traffic all three\n"
+        "track each other; under tornado/permutations MIN pins at 1/p of\n"
+        "injection bandwidth while UGAL and UGAL_PF deliver ~50-66%, with\n"
+        "UGAL_PF matching MIN's latency at low load thanks to its\n"
+        "adaptation threshold."
+    )
+
+
+if __name__ == "__main__":
+    main()

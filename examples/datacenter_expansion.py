@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Budget-driven datacenter growth with PolarFly (paper Section VI).
+
+Run:  python examples/datacenter_expansion.py
+
+Scenario: a lab buys an under-provisioned PolarFly(q=7) and grows it over
+four budget cycles *without rewiring a single existing cable*.  The script
+compares the two expansion schemes the paper proposes:
+
+* quadric-cluster replication   — keeps diameter 2, non-uniform degrees;
+* non-quadric replication       — ~2x nodes per added port, diameter 3,
+                                  near-uniform degrees, ASPL < 2.
+
+For each step it reports size, degree spread, diameter/ASPL, and measured
+throughput under uniform traffic (the Figure 11 experiment, scaled down).
+"""
+
+from repro import (
+    MinimalRouting,
+    NetworkSimulator,
+    PolarFly,
+    RoutingTables,
+    UniformTraffic,
+    replicate_nonquadric_clusters,
+    replicate_quadrics,
+)
+
+
+def evaluate(topo, label):
+    deg = topo.graph.degree()
+    tables = RoutingTables(topo)
+    sim = NetworkSimulator(
+        topo, MinimalRouting(tables), UniformTraffic(topo), load=0.4, seed=1
+    )
+    res = sim.run(warmup=250, measure=500, drain=200)
+    print(
+        f"  {label:<28} N={topo.num_routers:<4} "
+        f"deg=[{deg.min()},{deg.max()}] D={topo.diameter()} "
+        f"ASPL={topo.average_shortest_path_length():.3f} "
+        f"thru={res.accepted_load:.3f} lat={res.avg_latency:.1f}"
+    )
+    return res.accepted_load
+
+
+def main() -> None:
+    q = 7
+    base = PolarFly(q, concentration=2)
+    print(f"=== Incremental expansion of PolarFly(q={q}) ===\n")
+    print("Baseline:")
+    base_thru = evaluate(base, "PF(7)")
+
+    print("\nScheme A — replicate the quadric rack (diameter stays 2):")
+    for t in (1, 2, 3):
+        ex = replicate_quadrics(base, t, concentration=2)
+        evaluate(ex, f"+{t} quadric rack(s) (+{t * (q + 1)} nodes)")
+
+    print("\nScheme B — replicate non-quadric racks (near-uniform degrees):")
+    for t in (1, 2, 3):
+        ex = replicate_nonquadric_clusters(base, t, concentration=2)
+        evaluate(ex, f"+{t} fan rack(s) (+{t * q} nodes)")
+
+    print(
+        "\nTakeaway (matches Figure 11): quadric replication preserves\n"
+        "diameter 2 but concentrates new load on W/V1 routers; non-quadric\n"
+        "replication scales ~2x faster per port, keeps degrees near-uniform\n"
+        "and costs only a diameter-3 worst case (ASPL stays below 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

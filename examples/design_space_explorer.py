@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Design-space exploration: pick a topology for a given router radix.
+
+Run:  python examples/design_space_explorer.py [max_radix]
+
+Answers the procurement question the paper's Figures 1-2 address: *given
+routers of radix k, how many compute nodes can each diameter-2 topology
+connect, and how close is that to the theoretical (Moore) optimum?*
+
+For every radix up to the budget it lists the feasible PolarFly and Slim
+Fly designs, then prints the co-packaged cost comparison of Section X and
+a bisection/resilience spot check on concrete instances.
+"""
+
+import sys
+
+from repro import PolarFly, SlimFly, feasible_q_for_radix, moore_bound_diameter2
+from repro.analysis import (
+    bisection_fraction,
+    cost_comparison,
+    feasible_radix_counts,
+    link_failure_sweep,
+)
+from repro.core import polarfly_order
+from repro.topologies import feasible_slimfly_q, slimfly_order
+
+
+def main(max_radix: int = 32) -> None:
+    print(f"=== Diameter-2 design space up to radix {max_radix} ===\n")
+    print(f"{'radix':>5} {'PolarFly':>22} {'SlimFly':>22} {'Moore bound':>12}")
+    for k in range(3, max_radix + 1):
+        bound = moore_bound_diameter2(k)
+        q_pf = feasible_q_for_radix(k)
+        q_sf = feasible_slimfly_q(k)
+        pf_txt = (
+            f"q={q_pf}: N={polarfly_order(q_pf)} ({polarfly_order(q_pf)/bound:.0%})"
+            if q_pf
+            else "-"
+        )
+        sf_txt = (
+            f"q={q_sf}: N={slimfly_order(q_sf)} ({slimfly_order(q_sf)/bound:.0%})"
+            if q_sf
+            else "-"
+        )
+        if q_pf or q_sf:
+            print(f"{k:>5} {pf_txt:>22} {sf_txt:>22} {bound:>12}")
+
+    counts = feasible_radix_counts((16, 32, 48, 64, 96, 128))
+    print("\nFeasible designs per radix ceiling (Figure 1):")
+    print(f"  ceilings : {counts['ceilings']}")
+    for name in ("SlimFly", "PolarFly", "PolarFly+"):
+        print(f"  {name:<9}: {counts[name]}")
+
+    print("\nNormalized network cost at ~1,024 nodes (Figure 15):")
+    for scenario, costs in cost_comparison().items():
+        row = ", ".join(f"{n}={v:.2f}" for n, v in costs.items())
+        print(f"  {scenario:<12}: {row}")
+
+    # Concrete spot check on buildable instances.
+    print("\nSpot check on real instances (bisection + 30% link failure):")
+    for topo in (PolarFly(9), SlimFly(7)):
+        frac = bisection_fraction(topo)
+        sweep = link_failure_sweep(topo, steps=[0.3], seed=0)
+        print(
+            f"  {topo.name:<10} N={topo.num_routers:<4} "
+            f"bisection={frac:.2f} of links, "
+            f"diameter@30%fail={sweep.diameters[0]}"
+        )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 32)

@@ -1,0 +1,74 @@
+"""Structural and cost analyses backing the paper's evaluation figures.
+
+Bisection bandwidth (Fig 12), link-failure resilience (Fig 14), path
+diversity (Table VI), the OIO cost model (Fig 15), and design-space
+feasibility (Figs 1-2, Table I).
+"""
+
+from repro.analysis.bisection import (
+    spectral_bisection,
+    kernighan_lin_refine,
+    bisection_cut,
+    bisection_fraction,
+)
+from repro.analysis.resilience import (
+    FailureSweep,
+    link_failure_sweep,
+    median_disconnection_sweep,
+)
+from repro.analysis.path_diversity import (
+    PairCase,
+    classify_pair,
+    exact_path_counts,
+    paper_path_counts,
+    observed_path_counts,
+    observed_counts_avoiding_midpoint,
+)
+from repro.analysis.cost import (
+    CostModel,
+    TopologyCost,
+    cost_comparison,
+    NORMALIZED_COSTS,
+)
+from repro.analysis.node_resilience import (
+    remove_nodes,
+    node_failure_diameter,
+    node_failure_sweep,
+)
+from repro.analysis.feasibility import (
+    polarfly_feasible_radixes,
+    slimfly_feasible_radixes,
+    polarfly_plus_feasible_radixes,
+    feasible_radix_counts,
+    moore_efficiency_curve,
+    FEASIBILITY_TABLE,
+)
+
+__all__ = [
+    "spectral_bisection",
+    "kernighan_lin_refine",
+    "bisection_cut",
+    "bisection_fraction",
+    "FailureSweep",
+    "link_failure_sweep",
+    "median_disconnection_sweep",
+    "PairCase",
+    "classify_pair",
+    "exact_path_counts",
+    "paper_path_counts",
+    "observed_path_counts",
+    "observed_counts_avoiding_midpoint",
+    "CostModel",
+    "TopologyCost",
+    "cost_comparison",
+    "NORMALIZED_COSTS",
+    "remove_nodes",
+    "node_failure_diameter",
+    "node_failure_sweep",
+    "polarfly_feasible_radixes",
+    "slimfly_feasible_radixes",
+    "polarfly_plus_feasible_radixes",
+    "feasible_radix_counts",
+    "moore_efficiency_curve",
+    "FEASIBILITY_TABLE",
+]

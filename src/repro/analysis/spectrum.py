@@ -1,0 +1,85 @@
+"""Spectral structure and expansion (paper Sections IX-A/IX-B).
+
+The paper attributes PolarFly's high bisection and resilience to its
+expander-like structure ("enforcing an almost Moore Bound spanning tree
+view from each vertex").  This module makes that quantitative:
+
+* the incidence graph B(q) is (q+1)-regular with adjacency spectrum
+  ``{±(q+1), ±sqrt(q)}`` — a Ramanujan-quality gap, verified exactly;
+* ER_q itself (mildly irregular at the quadrics) has second eigenvalue
+  ~sqrt(q) as well; :func:`spectral_expansion` measures the gap and
+  :func:`cheeger_lower_bound` converts it into an edge-expansion
+  guarantee, which the Figure 12 bisection numbers must respect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.graph import Graph
+
+__all__ = [
+    "adjacency_spectrum",
+    "spectral_expansion",
+    "cheeger_lower_bound",
+    "is_ramanujan_spectrum",
+]
+
+
+def _graph(topo_or_graph) -> Graph:
+    return (
+        topo_or_graph.graph
+        if isinstance(topo_or_graph, Topology)
+        else topo_or_graph
+    )
+
+
+def adjacency_spectrum(topo_or_graph) -> np.ndarray:
+    """Adjacency eigenvalues, descending."""
+    graph = _graph(topo_or_graph)
+    vals = np.linalg.eigvalsh(graph.adjacency_matrix(dtype=np.float64))
+    return vals[::-1]
+
+
+def spectral_expansion(topo_or_graph) -> dict[str, float]:
+    """Spectral-gap summary: ``lambda1``, ``lambda2``, and their gap.
+
+    ``lambda2`` here is the largest *non-principal* eigenvalue magnitude
+    (the expansion-relevant quantity for near-regular graphs).
+    """
+    vals = adjacency_spectrum(topo_or_graph)
+    lam1 = float(vals[0])
+    rest = np.abs(vals[1:])
+    lam2 = float(rest.max()) if rest.size else 0.0
+    return {"lambda1": lam1, "lambda2": lam2, "gap": lam1 - lam2}
+
+
+def cheeger_lower_bound(topo_or_graph) -> float:
+    """Cheeger-style lower bound on edge expansion: ``(d - lambda2)/2``.
+
+    For a d-regular graph every balanced cut has at least
+    ``(d - lambda2)/2 * n/2`` edges; near-regular ER_q obeys it with d
+    the mean degree.
+    """
+    graph = _graph(topo_or_graph)
+    d = float(graph.degree().mean())
+    lam2 = spectral_expansion(graph)["lambda2"]
+    return max(0.0, (d - lam2) / 2.0)
+
+
+def is_ramanujan_spectrum(topo_or_graph, tol: float = 1e-6) -> bool:
+    """True iff all non-principal eigenvalues fit |lam| <= 2 sqrt(d-1).
+
+    The Ramanujan optimality criterion for d-regular graphs; B(q) and the
+    (bipartite-adjusted) ER graphs satisfy it comfortably since their
+    second eigenvalue is ~sqrt(q) << 2 sqrt(q).
+    """
+    graph = _graph(topo_or_graph)
+    d = float(graph.degree().mean())
+    vals = adjacency_spectrum(graph)
+    bound = 2.0 * np.sqrt(max(d - 1.0, 0.0)) + tol
+    nonprincipal = vals[1:]
+    # For bipartite graphs -d is a legitimate principal pair; exclude it.
+    mags = np.abs(nonprincipal[np.abs(np.abs(nonprincipal) - d) > tol])
+    return bool(np.all(mags <= bound))

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: PolarFly and its structural theory.
+
+* :class:`~repro.core.polarfly.PolarFly` — the ER_q polarity-graph topology.
+* :class:`~repro.core.layout.ClusterLayout` — Algorithm 1 rack layout.
+* :mod:`~repro.core.expansion` — incremental growth without rewiring.
+* :mod:`~repro.core.triangles` — triangle census, block design, Tables II/III.
+"""
+
+from repro.core.polarfly import (
+    PolarFly,
+    polarfly_order,
+    polarfly_radix,
+    feasible_q_for_radix,
+)
+from repro.core.layout import ClusterLayout
+from repro.core.expansion import (
+    ExpandedPolarFly,
+    replicate_quadrics,
+    replicate_nonquadric_clusters,
+)
+from repro.core.incidence import IncidenceGraph, polarity_quotient
+from repro.core import triangles
+
+__all__ = [
+    "IncidenceGraph",
+    "polarity_quotient",
+    "PolarFly",
+    "polarfly_order",
+    "polarfly_radix",
+    "feasible_q_for_radix",
+    "ClusterLayout",
+    "ExpandedPolarFly",
+    "replicate_quadrics",
+    "replicate_nonquadric_clusters",
+    "triangles",
+]

@@ -1,0 +1,193 @@
+"""Incremental expansion of PolarFly (paper Section VI).
+
+Both schemes replicate a cluster of the layout per Definition VI.1 — the
+replica copies the cluster's intra-cluster edges among fresh vertices and
+re-attaches every inter-cluster edge of the original — so expansion never
+rewires an existing link:
+
+* :func:`replicate_quadrics` — clone the quadric rack ``C0``; every quadric
+  and its clones form a clique.  Adds ``q + 1`` nodes per step, keeps
+  diameter 2, but concentrates new links on ``W`` and ``V1`` (non-uniform
+  degree growth).
+* :func:`replicate_nonquadric_clusters` — clone non-quadric racks
+  round-robin, wiring each clone of the Proposition-V.4.3 "orphan" vertex
+  to the centers of the clusters it missed.  Adds ``q`` nodes per step with
+  near-uniform degree growth, at the price of diameter 3 (ASPL stays < 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.layout import ClusterLayout
+from repro.core.polarfly import PolarFly
+from repro.topologies.base import Topology
+from repro.utils.graph import Graph
+
+__all__ = [
+    "ExpandedPolarFly",
+    "replicate_quadrics",
+    "replicate_nonquadric_clusters",
+]
+
+
+class ExpandedPolarFly(Topology):
+    """A PolarFly grown by cluster replication.
+
+    Attributes
+    ----------
+    base:
+        The original :class:`PolarFly`.
+    scheme:
+        ``"quadric"`` or ``"nonquadric"``.
+    times:
+        Number of replication steps applied.
+    replica_of:
+        Length-N array: for replica vertices the original vertex they
+        clone, for original vertices the vertex itself.
+    """
+
+    def __init__(
+        self,
+        base: PolarFly,
+        scheme: str,
+        times: int,
+        graph: Graph,
+        replica_of: np.ndarray,
+        concentration=0,
+    ):
+        super().__init__(
+            f"{base.name}+{scheme}x{times}", graph, concentration
+        )
+        self.base = base
+        self.scheme = scheme
+        self.times = times
+        self.replica_of = replica_of
+
+    @property
+    def growth_fraction(self) -> float:
+        """Relative size increase over the base network."""
+        return self.num_routers / self.base.num_routers - 1.0
+
+
+def _edge_set(graph: Graph) -> set[tuple[int, int]]:
+    return {(int(u), int(v)) for u, v in graph.edges()}
+
+
+def _replicate_cluster(
+    edges: set[tuple[int, int]],
+    neighbors: dict[int, set[int]],
+    members: list[int],
+    next_id: int,
+) -> tuple[dict[int, int], int]:
+    """Apply Definition VI.1 to ``members``; returns the replica id map.
+
+    ``edges``/``neighbors`` are updated in place (they describe the graph
+    being grown across successive replications).
+    """
+    member_set = set(members)
+    replica = {v: next_id + i for i, v in enumerate(members)}
+    for v in members:
+        for w in neighbors[v]:
+            if w in member_set:
+                # Intra-cluster edge: connect the two replicas (once).
+                if v < w:
+                    _add_edge(edges, neighbors, replica[v], replica[w])
+            else:
+                # Inter-cluster edge: replica attaches to the outside end.
+                _add_edge(edges, neighbors, replica[v], w)
+    return replica, next_id + len(members)
+
+
+def _add_edge(edges, neighbors, u, v):
+    a, b = (u, v) if u < v else (v, u)
+    if (a, b) in edges:
+        return
+    edges.add((a, b))
+    neighbors.setdefault(u, set()).add(v)
+    neighbors.setdefault(v, set()).add(u)
+
+
+def _neighbor_map(graph: Graph) -> dict[int, set[int]]:
+    return {
+        v: {int(w) for w in graph.neighbors(v)} for v in range(graph.n)
+    }
+
+
+def replicate_quadrics(
+    pf: PolarFly,
+    times: int = 1,
+    layout: "ClusterLayout | None" = None,
+    concentration=0,
+) -> ExpandedPolarFly:
+    """Grow ``pf`` by replicating the quadric cluster ``times`` times.
+
+    After each replication every quadric is directly connected with all of
+    its replicas (growing per-quadric cliques), which is what keeps the
+    diameter at 2 (Section VI-A).
+    """
+    if times < 1:
+        raise ValueError("times must be >= 1")
+    layout = layout or ClusterLayout(pf)
+    edges = _edge_set(pf.graph)
+    neighbors = _neighbor_map(pf.graph)
+    quadrics = [int(v) for v in pf.quadrics]
+    # clique_members[v] collects v and all of its clones.
+    clique_members = {v: [v] for v in quadrics}
+    replica_of = list(range(pf.num_routers))
+    next_id = pf.num_routers
+    for _ in range(times):
+        replica, next_id = _replicate_cluster(edges, neighbors, quadrics, next_id)
+        for v, v_rep in replica.items():
+            replica_of.append(v)
+            for other in clique_members[v]:
+                _add_edge(edges, neighbors, other, v_rep)
+            clique_members[v].append(v_rep)
+    graph = Graph(next_id, edges)
+    return ExpandedPolarFly(
+        pf, "quadric", times, graph, np.array(replica_of), concentration
+    )
+
+
+def replicate_nonquadric_clusters(
+    pf: PolarFly,
+    times: int = 1,
+    layout: "ClusterLayout | None" = None,
+    concentration=0,
+) -> ExpandedPolarFly:
+    """Grow ``pf`` by replicating non-quadric clusters round-robin.
+
+    Replication step ``t`` (1-based) clones cluster ``C_t``; the clone is
+    labelled ``C_{q+t}`` as in Figure 7.  To keep degrees near-uniform, the
+    clone of the unique vertex of ``C_t`` with no edge to ``C_j``
+    (Proposition V.4.3) is wired to the center of ``C_j`` — and to the
+    center of ``C_j``'s clone when it exists (Section VI-B).
+    """
+    if times < 1:
+        raise ValueError("times must be >= 1")
+    if times > pf.q:
+        raise ValueError(f"at most q={pf.q} non-quadric replications supported")
+    layout = layout or ClusterLayout(pf)
+    edges = _edge_set(pf.graph)
+    neighbors = _neighbor_map(pf.graph)
+    replica_of = list(range(pf.num_routers))
+    next_id = pf.num_routers
+    # center_clone[j] = center of C_{q+j} once cluster j has been cloned.
+    center_clone: dict[int, int] = {}
+    for t in range(1, times + 1):
+        members = [int(v) for v in layout.cluster(t)]
+        replica, next_id = _replicate_cluster(edges, neighbors, members, next_id)
+        replica_of.extend(members)  # replicas were assigned ids in member order
+        for j in range(1, pf.q + 1):
+            if j == t:
+                continue
+            orphan = layout.unconnected_vertex(t, j)
+            orphan_clone = replica[orphan]
+            _add_edge(edges, neighbors, orphan_clone, layout.center(j))
+            if j in center_clone:
+                _add_edge(edges, neighbors, orphan_clone, center_clone[j])
+        center_clone[t] = replica[layout.center(t)]
+    graph = Graph(next_id, edges)
+    return ExpandedPolarFly(
+        pf, "nonquadric", times, graph, np.array(replica_of), concentration
+    )

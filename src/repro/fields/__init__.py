@@ -1,0 +1,48 @@
+"""Finite-field substrate: primes, polynomials over F_p, and GF(q) tables.
+
+PolarFly's vertex set lives in the projective plane PG(2, q), and Slim Fly's
+generator sets live in GF(q)^2 — both need exact field arithmetic for any
+prime power q.  This subpackage provides it from scratch with table-driven,
+numpy-vectorized operations.
+"""
+
+from repro.fields.primes import (
+    is_prime,
+    factorize,
+    prime_factors,
+    is_prime_power,
+    primes_up_to,
+    prime_powers_up_to,
+)
+from repro.fields.polynomials import (
+    poly_add,
+    poly_sub,
+    poly_mul,
+    poly_divmod,
+    poly_mod,
+    poly_gcd,
+    poly_pow_mod,
+    is_irreducible,
+    find_irreducible,
+)
+from repro.fields.galois import FiniteField, GF
+
+__all__ = [
+    "is_prime",
+    "factorize",
+    "prime_factors",
+    "is_prime_power",
+    "primes_up_to",
+    "prime_powers_up_to",
+    "poly_add",
+    "poly_sub",
+    "poly_mul",
+    "poly_divmod",
+    "poly_mod",
+    "poly_gcd",
+    "poly_pow_mod",
+    "is_irreducible",
+    "find_irreducible",
+    "FiniteField",
+    "GF",
+]

@@ -1,0 +1,158 @@
+"""Dense univariate polynomial arithmetic over the prime field F_p.
+
+Polynomials are represented as tuples of coefficients *low degree first*
+(``(c0, c1, ..., cd)`` with ``cd != 0`` unless the polynomial is zero).
+This module exists to bootstrap extension fields GF(p^m): we need to find an
+irreducible modulus and to exponentiate candidate generators, after which
+all per-element arithmetic is replaced by numpy lookup tables
+(:mod:`repro.fields.galois`).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+__all__ = [
+    "poly_trim",
+    "poly_add",
+    "poly_sub",
+    "poly_mul",
+    "poly_divmod",
+    "poly_mod",
+    "poly_gcd",
+    "poly_pow_mod",
+    "is_irreducible",
+    "find_irreducible",
+]
+
+Poly = tuple
+
+ZERO: Poly = ()
+ONE: Poly = (1,)
+X: Poly = (0, 1)
+
+
+def poly_trim(a) -> Poly:
+    """Drop trailing zero coefficients; the zero polynomial is ``()``."""
+    a = list(a)
+    while a and a[-1] == 0:
+        a.pop()
+    return tuple(a)
+
+
+def poly_add(a: Poly, b: Poly, p: int) -> Poly:
+    """``a + b`` over F_p."""
+    n = max(len(a), len(b))
+    return poly_trim(
+        ((a[i] if i < len(a) else 0) + (b[i] if i < len(b) else 0)) % p
+        for i in range(n)
+    )
+
+
+def poly_sub(a: Poly, b: Poly, p: int) -> Poly:
+    """``a - b`` over F_p."""
+    n = max(len(a), len(b))
+    return poly_trim(
+        ((a[i] if i < len(a) else 0) - (b[i] if i < len(b) else 0)) % p
+        for i in range(n)
+    )
+
+
+def poly_mul(a: Poly, b: Poly, p: int) -> Poly:
+    """``a * b`` over F_p (schoolbook convolution; degrees here are tiny)."""
+    if not a or not b:
+        return ZERO
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            out[i + j] = (out[i + j] + ai * bj) % p
+    return poly_trim(out)
+
+
+def poly_divmod(a: Poly, b: Poly, p: int) -> tuple[Poly, Poly]:
+    """Quotient and remainder of ``a / b`` over F_p."""
+    if not b:
+        raise ZeroDivisionError("polynomial division by zero")
+    rem = list(a)
+    quo = [0] * max(0, len(a) - len(b) + 1)
+    inv_lead = pow(b[-1], p - 2, p)
+    for shift in range(len(rem) - len(b), -1, -1):
+        coeff = (rem[shift + len(b) - 1] * inv_lead) % p
+        if coeff:
+            quo[shift] = coeff
+            for i, bi in enumerate(b):
+                rem[shift + i] = (rem[shift + i] - coeff * bi) % p
+    return poly_trim(quo), poly_trim(rem)
+
+
+def poly_mod(a: Poly, b: Poly, p: int) -> Poly:
+    """Remainder of ``a`` modulo ``b`` over F_p."""
+    return poly_divmod(a, b, p)[1]
+
+
+def poly_gcd(a: Poly, b: Poly, p: int) -> Poly:
+    """Monic greatest common divisor over F_p."""
+    a, b = poly_trim(a), poly_trim(b)
+    while b:
+        a, b = b, poly_mod(a, b, p)
+    if a:
+        inv_lead = pow(a[-1], p - 2, p)
+        a = poly_trim((c * inv_lead) % p for c in a)
+    return a
+
+
+def poly_pow_mod(base: Poly, exp: int, modulus: Poly, p: int) -> Poly:
+    """``base**exp mod modulus`` over F_p by square-and-multiply."""
+    result: Poly = ONE
+    base = poly_mod(base, modulus, p)
+    while exp > 0:
+        if exp & 1:
+            result = poly_mod(poly_mul(result, base, p), modulus, p)
+        base = poly_mod(poly_mul(base, base, p), modulus, p)
+        exp >>= 1
+    return result
+
+
+def is_irreducible(f: Poly, p: int) -> bool:
+    """Rabin irreducibility test for a monic polynomial over F_p.
+
+    ``f`` of degree ``m`` is irreducible iff ``x^(p^m) == x (mod f)`` and
+    ``gcd(x^(p^(m/r)) - x, f) == 1`` for every prime ``r | m``.
+    """
+    from repro.fields.primes import prime_factors
+
+    f = poly_trim(f)
+    m = len(f) - 1
+    if m <= 0:
+        return False
+    if f[-1] != 1:
+        raise ValueError("irreducibility test expects a monic polynomial")
+    if m == 1:
+        return True
+    for r in prime_factors(m):
+        d = m // r
+        xp = poly_pow_mod(X, p**d, f, p)
+        g = poly_gcd(poly_sub(xp, X, p), f, p)
+        if g != ONE:
+            return False
+    xp = poly_pow_mod(X, p**m, f, p)
+    return poly_sub(xp, X, p) == ZERO
+
+
+def find_irreducible(p: int, m: int) -> Poly:
+    """Lexicographically first monic irreducible polynomial of degree ``m``.
+
+    A deterministic choice keeps the element encoding of GF(p^m) — and hence
+    every derived topology — stable across runs and machines.
+    """
+    if m == 1:
+        return X
+    for coeffs in product(range(p), repeat=m):
+        f = poly_trim(coeffs + (1,))
+        if len(f) != m + 1:
+            continue
+        if is_irreducible(f, p):
+            return f
+    raise RuntimeError(f"no irreducible polynomial of degree {m} over F_{p}")

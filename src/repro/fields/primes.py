@@ -1,0 +1,123 @@
+"""Primality, factorization, and prime-power machinery.
+
+The PolarFly design space is indexed by prime powers ``q`` (radix
+``k = q + 1``), and Slim Fly by prime powers ``q = 4w ± 1`` — so clean,
+deterministic prime/prime-power predicates are a load-bearing substrate for
+the feasibility analyses (Figures 1 and 2) as well as field construction.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+__all__ = [
+    "is_prime",
+    "factorize",
+    "prime_factors",
+    "is_prime_power",
+    "primes_up_to",
+    "prime_powers_up_to",
+]
+
+# Deterministic Miller-Rabin witnesses for n < 3.3 * 10^24 (Sorenson/Webster).
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test (Miller–Rabin with fixed witnesses).
+
+    Exact for every ``n`` below 3.3e24, far beyond any radix this library
+    ever touches.
+    """
+    n = int(n)
+    if n < 2:
+        return False
+    for p in _MR_WITNESSES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@lru_cache(maxsize=4096)
+def factorize(n: int) -> dict[int, int]:
+    """Prime factorization ``{p: exponent}`` by trial division.
+
+    Trial division suffices: the library only factors field orders and
+    ``q - 1`` values, all far below 2**40.
+    """
+    n = int(n)
+    if n < 1:
+        raise ValueError(f"cannot factorize {n}")
+    factors: dict[int, int] = {}
+    for p in (2, 3):
+        while n % p == 0:
+            factors[p] = factors.get(p, 0) + 1
+            n //= p
+    f = 5
+    while f * f <= n:
+        for p in (f, f + 2):
+            while n % p == 0:
+                factors[p] = factors.get(p, 0) + 1
+                n //= p
+        f += 6
+    if n > 1:
+        factors[n] = factors.get(n, 0) + 1
+    return factors
+
+
+def prime_factors(n: int) -> list[int]:
+    """Sorted distinct prime factors of ``n``."""
+    return sorted(factorize(n))
+
+
+def is_prime_power(n: int) -> "tuple[int, int] | None":
+    """Return ``(p, m)`` with ``n == p**m`` if ``n`` is a prime power, else None."""
+    n = int(n)
+    if n < 2:
+        return None
+    factors = factorize(n)
+    if len(factors) != 1:
+        return None
+    ((p, m),) = factors.items()
+    return (p, m)
+
+
+def primes_up_to(limit: int) -> list[int]:
+    """All primes ``<= limit`` (simple sieve of Eratosthenes)."""
+    limit = int(limit)
+    if limit < 2:
+        return []
+    sieve = bytearray([1]) * (limit + 1)
+    sieve[0] = sieve[1] = 0
+    for i in range(2, int(limit**0.5) + 1):
+        if sieve[i]:
+            sieve[i * i :: i] = bytearray(len(sieve[i * i :: i]))
+    return [i for i in range(limit + 1) if sieve[i]]
+
+
+def prime_powers_up_to(limit: int) -> list[int]:
+    """All prime powers ``p**m <= limit`` with ``m >= 1``, sorted."""
+    out = []
+    for p in primes_up_to(limit):
+        v = p
+        while v <= limit:
+            out.append(v)
+            v *= p
+    return sorted(out)

@@ -1,0 +1,54 @@
+"""Cycle-accurate flit-level network simulator (the BookSim substitute).
+
+Input-queued VC routers with credit flow control, Bernoulli injection of
+multi-flit packets, the paper's traffic patterns, and a load-sweep harness
+producing the latency/throughput curves of Figures 8-11.
+"""
+
+from repro.flitsim.packet import Packet
+from repro.flitsim.simulator import NetworkSimulator, SimConfig, SimResult
+from repro.flitsim.traffic import (
+    TrafficPattern,
+    UniformTraffic,
+    PermutationTraffic,
+    TornadoTraffic,
+    RandomPermutationTraffic,
+    OneHopPermutationTraffic,
+    TwoHopPermutationTraffic,
+    one_hop_permutation,
+    two_hop_permutation,
+)
+from repro.flitsim.sweep import SweepPoint, LoadSweep, run_load_sweep, saturation_load
+from repro.flitsim.patterns_extra import (
+    BitComplementTraffic,
+    ShiftTraffic,
+    HotspotTraffic,
+)
+from repro.flitsim.telemetry import LinkTelemetry, run_with_telemetry
+from repro.flitsim.latency_model import LatencyModel
+
+__all__ = [
+    "BitComplementTraffic",
+    "ShiftTraffic",
+    "HotspotTraffic",
+    "LinkTelemetry",
+    "run_with_telemetry",
+    "LatencyModel",
+    "Packet",
+    "NetworkSimulator",
+    "SimConfig",
+    "SimResult",
+    "TrafficPattern",
+    "UniformTraffic",
+    "PermutationTraffic",
+    "TornadoTraffic",
+    "RandomPermutationTraffic",
+    "OneHopPermutationTraffic",
+    "TwoHopPermutationTraffic",
+    "one_hop_permutation",
+    "two_hop_permutation",
+    "SweepPoint",
+    "LoadSweep",
+    "run_load_sweep",
+    "saturation_load",
+]

@@ -1,0 +1,64 @@
+"""Packet and flit representation for the cycle-accurate simulator.
+
+A packet is source-routed: the full router path is decided at injection
+(table lookup + adaptive policy, exactly as the paper's UGAL variants do)
+and carried with the packet.  Flits are ``(packet, seq)`` pairs; keeping
+them as tuples of a shared Packet object avoids per-flit allocation of
+routing state.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Packet"]
+
+
+class Packet:
+    """One network packet.
+
+    Attributes
+    ----------
+    pid:
+        Unique id (monotone injection order).
+    route:
+        Tuple of router ids from source to destination inclusive.
+    size:
+        Number of flits.
+    t_created:
+        Cycle at which the packet entered its source queue.
+    t_ejected:
+        Cycle at which the tail flit left the network (-1 while in flight).
+    """
+
+    __slots__ = ("pid", "route", "size", "t_created", "t_ejected", "measured")
+
+    def __init__(self, pid: int, route: tuple[int, ...], size: int, t_created: int):
+        self.pid = pid
+        self.route = route
+        self.size = size
+        self.t_created = t_created
+        self.t_ejected = -1
+        #: whether this packet was created inside the measurement window
+        self.measured = False
+
+    @property
+    def src(self) -> int:
+        """Source router."""
+        return self.route[0]
+
+    @property
+    def dst(self) -> int:
+        """Destination router."""
+        return self.route[-1]
+
+    @property
+    def hops(self) -> int:
+        """Router-to-router hops along the carried route."""
+        return len(self.route) - 1
+
+    @property
+    def latency(self) -> int:
+        """Creation-to-tail-ejection latency; -1 while in flight."""
+        return self.t_ejected - self.t_created if self.t_ejected >= 0 else -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Packet({self.pid}, route={self.route}, t={self.t_created})"

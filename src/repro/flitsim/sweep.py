@@ -1,0 +1,114 @@
+"""Load sweeps and latency/throughput curves (Figures 8-11 harness).
+
+Runs the simulator across a list of offered loads and collects the points
+the paper plots: average latency vs offered load, plus accepted throughput
+(whose plateau is the saturation point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flitsim.simulator import NetworkSimulator, SimConfig, SimResult
+from repro.flitsim.traffic import TrafficPattern
+from repro.routing.policies import RoutingPolicy
+from repro.topologies.base import Topology
+
+__all__ = ["SweepPoint", "LoadSweep", "run_load_sweep", "saturation_load"]
+
+
+@dataclass
+class SweepPoint:
+    """One (offered load, latency, throughput) sample."""
+
+    offered_load: float
+    avg_latency: float
+    p99_latency: float
+    accepted_load: float
+    avg_hops: float
+
+    @classmethod
+    def from_result(cls, res: SimResult) -> "SweepPoint":
+        return cls(
+            offered_load=res.offered_load,
+            avg_latency=res.avg_latency,
+            p99_latency=res.p99_latency,
+            accepted_load=res.accepted_load,
+            avg_hops=res.avg_hops,
+        )
+
+
+@dataclass
+class LoadSweep:
+    """A labelled latency-vs-load curve."""
+
+    label: str
+    points: list
+
+    @property
+    def loads(self) -> np.ndarray:
+        return np.array([p.offered_load for p in self.points])
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return np.array([p.avg_latency for p in self.points])
+
+    @property
+    def throughputs(self) -> np.ndarray:
+        return np.array([p.accepted_load for p in self.points])
+
+    def saturation_load(self, efficiency: float = 0.95) -> float:
+        """Highest offered load still accepted at >= ``efficiency``.
+
+        Returns the *accepted* load at that point — the paper's saturation
+        throughput metric.
+        """
+        return saturation_load(self.points, efficiency)
+
+    def rows(self) -> list[dict]:
+        """Table rows (one per load point) for report printing."""
+        return [
+            {
+                "label": self.label,
+                "offered": round(p.offered_load, 3),
+                "latency": round(p.avg_latency, 1),
+                "accepted": round(p.accepted_load, 3),
+            }
+            for p in self.points
+        ]
+
+
+def saturation_load(points, efficiency: float = 0.95) -> float:
+    """Accepted load of the last point with accepted >= efficiency * offered."""
+    best = 0.0
+    for p in points:
+        if p.offered_load > 0 and p.accepted_load >= efficiency * p.offered_load:
+            best = max(best, p.accepted_load)
+        else:
+            best = max(best, p.accepted_load)  # past saturation: plateau value
+    return best
+
+
+def run_load_sweep(
+    topo: Topology,
+    policy: RoutingPolicy,
+    traffic: TrafficPattern,
+    loads,
+    label: str = "",
+    config: SimConfig = SimConfig(),
+    warmup: int = 600,
+    measure: int = 1200,
+    drain: int = 300,
+    seed=0,
+) -> LoadSweep:
+    """Simulate every load in ``loads`` and return the resulting curve."""
+    points = []
+    for load in loads:
+        sim = NetworkSimulator(
+            topo, policy, traffic, float(load), config=config, seed=seed
+        )
+        res = sim.run(warmup=warmup, measure=measure, drain=drain)
+        points.append(SweepPoint.from_result(res))
+    return LoadSweep(label or f"{topo.name}", points)

@@ -1,0 +1,278 @@
+"""Routing policies (paper Section VII).
+
+A policy turns ``(src_router, dst_router)`` into a concrete router path at
+injection time.  Adaptive policies additionally inspect the injecting
+router's local output-queue state through the
+:class:`CongestionView` protocol the simulator provides — the same
+information a UGAL-L router has in hardware (local buffer occupancies).
+
+Implemented policies:
+
+* :class:`MinimalRouting` — unique/ECMP shortest paths.
+* :class:`ValiantRouting` — classic two-phase Valiant through a uniformly
+  random intermediate router (up to 4 hops on a diameter-2 network).
+* :class:`CompactValiantRouting` — the paper's PolarFly-specific variant:
+  the intermediate is drawn from the *neighborhood* of the source (3-hop
+  worst case), applied only when source and destination are not adjacent.
+* :class:`UGALRouting` — UGAL-L: pick min vs Valiant by comparing
+  queue-depth x hop-count products.
+* :class:`UGALPFRouting` — the paper's UGAL_PF: Compact Valiant plus an
+  adaptation threshold (divert only when the min-path output buffer is
+  more than ``threshold`` full).
+* :class:`FatTreeNCARouting` — up/down least-common-ancestor routing for
+  k-ary n-trees (the FT-NCA baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.routing.tables import RoutingTables
+from repro.topologies.fattree import FatTree
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "CongestionView",
+    "RoutingPolicy",
+    "MinimalRouting",
+    "ValiantRouting",
+    "CompactValiantRouting",
+    "UGALRouting",
+    "UGALPFRouting",
+    "FatTreeNCARouting",
+]
+
+
+class CongestionView(Protocol):
+    """Local congestion info a router can legally observe (credits)."""
+
+    def output_occupancy(self, router: int, next_hop: int) -> int:
+        """Flits currently occupying the output buffer toward ``next_hop``."""
+        ...
+
+    def output_capacity(self) -> int:
+        """Total flit capacity of one output buffer (all VCs)."""
+        ...
+
+
+class _ZeroCongestion:
+    """Congestion view used outside a simulation (everything idle)."""
+
+    def output_occupancy(self, router: int, next_hop: int) -> int:
+        return 0
+
+    def output_capacity(self) -> int:
+        return 1
+
+
+ZERO_CONGESTION = _ZeroCongestion()
+
+
+class RoutingPolicy:
+    """Base class: owns the tables and the path-selection entry point."""
+
+    #: worst-case hops this policy can produce (used to size VCs)
+    max_hops: int = 0
+
+    def __init__(self, tables: RoutingTables):
+        self.tables = tables
+        self.topo = tables.topo
+
+    def select_route(
+        self, src: int, dst: int, rng, congestion: CongestionView = ZERO_CONGESTION
+    ) -> list[int]:
+        """Return the router path ``[src, ..., dst]`` for a new packet."""
+        raise NotImplementedError
+
+    # Helper: shortest path with random ECMP tie-breaks.
+    def _sp(self, src: int, dst: int, rng) -> list[int]:
+        return self.tables.shortest_path(src, dst, rng=rng)
+
+
+class MinimalRouting(RoutingPolicy):
+    """Table-based minimal routing (unique path on PolarFly)."""
+
+    def __init__(self, tables: RoutingTables):
+        super().__init__(tables)
+        self.max_hops = int(tables.dist.max())
+
+    def select_route(self, src, dst, rng, congestion=ZERO_CONGESTION):
+        return self._sp(src, dst, rng)
+
+
+class ValiantRouting(RoutingPolicy):
+    """Valiant load balancing through a uniform random intermediate."""
+
+    def __init__(self, tables: RoutingTables):
+        super().__init__(tables)
+        self.max_hops = 2 * int(tables.dist.max())
+
+    def random_intermediate(self, src: int, dst: int, rng) -> int:
+        n = self.topo.num_routers
+        while True:
+            r = int(rng.integers(n))
+            if r != src and r != dst:
+                return r
+
+    def select_route(self, src, dst, rng, congestion=ZERO_CONGESTION):
+        mid = self.random_intermediate(src, dst, rng)
+        first = self._sp(src, mid, rng)
+        second = self._sp(mid, dst, rng)
+        return first + second[1:]
+
+
+class CompactValiantRouting(ValiantRouting):
+    """Compact Valiant (Section VII-B): intermediate from ``N(src)``.
+
+    Caps the detour at 3 hops on a diameter-2 network instead of Valiant's
+    4.  When source and destination are adjacent the neighbor detour could
+    bounce packets back through the source, so the general Valiant
+    intermediate is used instead (as the paper prescribes).
+    """
+
+    def __init__(self, tables: RoutingTables):
+        super().__init__(tables)
+        self.max_hops = 1 + int(tables.dist.max()) + 1
+
+    def select_route(self, src, dst, rng, congestion=ZERO_CONGESTION):
+        if self.tables.distance(src, dst) <= 1:
+            return super().select_route(src, dst, rng, congestion)
+        nbrs = self.topo.graph.neighbors(src)
+        mid = int(nbrs[int(rng.integers(nbrs.size))])
+        if mid == dst:
+            return self._sp(src, dst, rng)
+        tail = self._sp(mid, dst, rng)
+        return [src] + tail
+
+
+class UGALRouting(RoutingPolicy):
+    """UGAL-L: min vs Valiant chosen by local queue x hop products.
+
+    The packet takes the Valiant path iff
+    ``occ(min_port) * H_min > occ(val_port) * H_val + bias`` — the
+    standard UGAL comparison with a small min-path bias to avoid
+    needless diversion at low load.
+    """
+
+    def __init__(self, tables: RoutingTables, bias: int = 1):
+        super().__init__(tables)
+        self.valiant = ValiantRouting(tables)
+        self.bias = bias
+        self.max_hops = self.valiant.max_hops
+
+    def _valiant_candidate(self, src, dst, rng):
+        return self.valiant.select_route(src, dst, rng)
+
+    def select_route(self, src, dst, rng, congestion=ZERO_CONGESTION):
+        min_path = self._sp(src, dst, rng)
+        if len(min_path) < 2:
+            return min_path
+        val_path = self._valiant_candidate(src, dst, rng)
+        q_min = congestion.output_occupancy(src, min_path[1])
+        q_val = congestion.output_occupancy(src, val_path[1])
+        h_min, h_val = len(min_path) - 1, len(val_path) - 1
+        if q_min * h_min > q_val * h_val + self.bias:
+            return val_path
+        return min_path
+
+
+class UGALGRouting(UGALRouting):
+    """UGAL-G: the globally-informed UGAL upper bound.
+
+    Instead of only the injecting router's local queues, compare the
+    summed output occupancy along the *entire* candidate paths.  Real
+    hardware cannot see remote queues instantaneously, so UGAL-G is the
+    idealized reference adaptive router (BookSim ships the same variant);
+    the gap between UGAL-L and UGAL-G measures how much the local
+    approximation costs.
+    """
+
+    def _path_cost(self, path, congestion) -> int:
+        return sum(
+            congestion.output_occupancy(a, b) for a, b in zip(path, path[1:])
+        )
+
+    def select_route(self, src, dst, rng, congestion=ZERO_CONGESTION):
+        min_path = self._sp(src, dst, rng)
+        if len(min_path) < 2:
+            return min_path
+        val_path = self._valiant_candidate(src, dst, rng)
+        q_min = self._path_cost(min_path, congestion)
+        q_val = self._path_cost(val_path, congestion)
+        h_min, h_val = len(min_path) - 1, len(val_path) - 1
+        if q_min * h_min > q_val * h_val + self.bias:
+            return val_path
+        return min_path
+
+
+class UGALPFRouting(UGALRouting):
+    """UGAL_PF (Section VII-C): Compact Valiant + adaptation threshold.
+
+    Divert to the (compact) Valiant path only when the min-path output
+    buffer is more than ``threshold`` (default 2/3) full *and* the UGAL
+    queue comparison still favors the detour.
+    """
+
+    def __init__(self, tables: RoutingTables, threshold: float = 2.0 / 3.0, bias: int = 1):
+        super().__init__(tables, bias=bias)
+        self.compact = CompactValiantRouting(tables)
+        self.threshold = float(threshold)
+        self.max_hops = self.compact.max_hops
+
+    def _valiant_candidate(self, src, dst, rng):
+        return self.compact.select_route(src, dst, rng)
+
+    def select_route(self, src, dst, rng, congestion=ZERO_CONGESTION):
+        min_path = self._sp(src, dst, rng)
+        if len(min_path) < 2:
+            return min_path
+        occ_frac = congestion.output_occupancy(
+            src, min_path[1]
+        ) / max(congestion.output_capacity(), 1)
+        if occ_frac <= self.threshold:
+            return min_path
+        return super().select_route(src, dst, rng, congestion)
+
+
+class FatTreeNCARouting(RoutingPolicy):
+    """Nearest-common-ancestor up/down routing on a k-ary n-tree.
+
+    Up-hops pick a uniformly random parent (the tree's full path
+    diversity); once at the NCA level the down path is digit-determined.
+    Both endpoints must be level-0 (edge) switches.
+    """
+
+    def __init__(self, tables: RoutingTables):
+        if not isinstance(tables.topo, FatTree):
+            raise TypeError("FatTreeNCARouting requires a FatTree topology")
+        super().__init__(tables)
+        self.ft: FatTree = tables.topo
+        self.max_hops = 2 * (self.ft.n_levels - 1)
+
+    def select_route(self, src, dst, rng, congestion=ZERO_CONGESTION):
+        ft = self.ft
+        if src == dst:
+            return [src]
+        nca = ft.nca_level(src, dst)
+        path = [src]
+        cur = src
+        # Ascend with random parent choice.
+        for level in range(nca):
+            ups = [
+                int(v)
+                for v in self.topo.graph.neighbors(cur)
+                if ft.switch_level(int(v)) == level + 1
+            ]
+            cur = ups[int(rng.integers(len(ups)))]
+            path.append(cur)
+        # Descend: at each level pick the unique child on a shortest path
+        # to dst (digit-determined).
+        while cur != dst:
+            hops = self.tables.min_next_hops(cur, dst)
+            level = ft.switch_level(cur)
+            downs = hops[[ft.switch_level(int(h)) == level - 1 for h in hops]]
+            cur = int(downs[0])
+            path.append(cur)
+        return path

@@ -1,0 +1,73 @@
+"""All-pairs distance tables and shortest-path extraction.
+
+The paper notes table-based routing is the method of choice for ER graphs
+(Section IV-D); the same tables also serve every baseline topology.  The
+distance matrix is built by one vectorized BFS per source and stored as
+int16 (N x N), from which minimal next-hops are recovered on demand —
+storing full next-hop sets would be O(N^2 * k) for no benefit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topologies.base import Topology
+from repro.utils.rng import make_rng
+
+__all__ = ["RoutingTables"]
+
+
+class RoutingTables:
+    """Distance matrix plus shortest-path queries for a topology.
+
+    Parameters
+    ----------
+    topo:
+        Any :class:`~repro.topologies.base.Topology`; the router graph
+        must be connected.
+    """
+
+    def __init__(self, topo: Topology):
+        if not topo.is_connected():
+            raise ValueError("routing tables require a connected topology")
+        self.topo = topo
+        graph = topo.graph
+        n = graph.n
+        dist = np.empty((n, n), dtype=np.int16)
+        for s in range(n):
+            dist[s] = graph.bfs_distances(s)
+        self.dist = dist
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, src: int, dst: int) -> int:
+        """Hop distance between routers."""
+        return int(self.dist[src, dst])
+
+    def min_next_hops(self, cur: int, dst: int) -> np.ndarray:
+        """All neighbors of ``cur`` lying on a shortest path to ``dst``."""
+        if cur == dst:
+            return np.empty(0, dtype=np.int64)
+        nbrs = self.topo.graph.neighbors(cur)
+        return nbrs[self.dist[nbrs, dst] == self.dist[cur, dst] - 1]
+
+    def shortest_path(self, src: int, dst: int, rng=None) -> list[int]:
+        """One shortest path ``[src, ..., dst]``.
+
+        Deterministic (first next-hop) when ``rng`` is None, otherwise a
+        uniformly random choice at each step — the ECMP behaviour used for
+        baselines with path diversity.
+        """
+        path = [src]
+        cur = src
+        rng = make_rng(rng) if rng is not None else None
+        while cur != dst:
+            hops = self.min_next_hops(cur, dst)
+            cur = int(hops[0] if rng is None else rng.choice(hops))
+            path.append(cur)
+        return path
+
+    def path_length(self, path: list[int]) -> int:
+        """Hop count of a router path."""
+        return len(path) - 1

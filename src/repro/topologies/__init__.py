@@ -1,0 +1,51 @@
+"""Baseline topologies the paper evaluates against, plus the shared base.
+
+All constructions are first-principles (no external graph libraries):
+Slim Fly's MMS graphs over GF(q), Dragonfly's group structure, k-ary
+n-trees, our own random-regular Jellyfish sampler, HyperX Hamming graphs,
+and the Moore-graph references for Figure 2.
+"""
+
+from repro.topologies.base import Topology
+from repro.topologies.slimfly import (
+    SlimFly,
+    slimfly_delta,
+    slimfly_order,
+    slimfly_radix,
+    feasible_slimfly_q,
+)
+from repro.topologies.dragonfly import Dragonfly, balanced_dragonfly
+from repro.topologies.fattree import FatTree
+from repro.topologies.jellyfish import Jellyfish, random_regular_graph
+from repro.topologies.hyperx import HyperX, hyperx_order, hyperx_radix
+from repro.topologies.moore import (
+    moore_bound,
+    moore_bound_diameter2,
+    petersen_graph,
+    hoffman_singleton_graph,
+    PetersenTopology,
+    HoffmanSingletonTopology,
+)
+
+__all__ = [
+    "Topology",
+    "SlimFly",
+    "slimfly_delta",
+    "slimfly_order",
+    "slimfly_radix",
+    "feasible_slimfly_q",
+    "Dragonfly",
+    "balanced_dragonfly",
+    "FatTree",
+    "Jellyfish",
+    "random_regular_graph",
+    "HyperX",
+    "hyperx_order",
+    "hyperx_radix",
+    "moore_bound",
+    "moore_bound_diameter2",
+    "petersen_graph",
+    "hoffman_singleton_graph",
+    "PetersenTopology",
+    "HoffmanSingletonTopology",
+]

@@ -1,0 +1,127 @@
+"""Common interconnection-network abstraction.
+
+Following the paper's network model (Section II-A): a topology is an
+undirected graph whose vertices are router/compute nodes; in the direct,
+co-packaged setting every router also hosts ``p`` endpoints
+(*concentration*).  Indirect topologies (fat trees) simply set the
+concentration of non-edge switches to zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.graph import Graph
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """An interconnection network: a router graph plus endpoint placement.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in benchmark tables).
+    graph:
+        Router-to-router connectivity.
+    concentration:
+        Endpoints per router — either a scalar applied to every router or a
+        length-``num_routers`` array (fat trees attach endpoints only to
+        edge switches).
+    """
+
+    def __init__(self, name: str, graph: Graph, concentration=0):
+        self.name = name
+        self.graph = graph
+        conc = np.asarray(concentration, dtype=np.int64)
+        if conc.ndim == 0:
+            conc = np.full(graph.n, int(conc), dtype=np.int64)
+        if conc.shape != (graph.n,):
+            raise ValueError(
+                f"concentration must be scalar or length {graph.n}, got {conc.shape}"
+            )
+        if np.any(conc < 0):
+            raise ValueError("concentration must be non-negative")
+        self.concentration = conc
+        # Endpoint ids are dense: endpoints of router r occupy the slice
+        # [endpoint_offsets[r], endpoint_offsets[r+1]).
+        self.endpoint_offsets = np.concatenate(
+            [[0], np.cumsum(conc)]
+        ).astype(np.int64)
+        self._endpoint_router = np.repeat(
+            np.arange(graph.n, dtype=np.int64), conc
+        )
+
+    # ------------------------------------------------------------------
+    # Sizes and radixes
+    # ------------------------------------------------------------------
+    @property
+    def num_routers(self) -> int:
+        """Number of routers (the paper's ``N``)."""
+        return self.graph.n
+
+    @property
+    def num_links(self) -> int:
+        """Number of router-to-router links."""
+        return self.graph.num_edges
+
+    @property
+    def num_endpoints(self) -> int:
+        """Total endpoints attached across all routers."""
+        return int(self.endpoint_offsets[-1])
+
+    @property
+    def network_radix(self) -> int:
+        """Maximum router-to-router degree (the paper's ``k``)."""
+        return int(self.graph.degree().max()) if self.graph.n else 0
+
+    @property
+    def total_radix(self) -> int:
+        """Maximum degree including endpoint ports."""
+        if self.graph.n == 0:
+            return 0
+        return int((self.graph.degree() + self.concentration).max())
+
+    def endpoint_router(self, endpoint: int) -> int:
+        """Router hosting ``endpoint``."""
+        return int(self._endpoint_router[endpoint])
+
+    def router_endpoints(self, router: int) -> np.ndarray:
+        """Endpoint ids hosted at ``router``."""
+        return np.arange(
+            self.endpoint_offsets[router], self.endpoint_offsets[router + 1]
+        )
+
+    # ------------------------------------------------------------------
+    # Graph metrics (delegated)
+    # ------------------------------------------------------------------
+    def diameter(self, sample: int | None = None, rng=None) -> int:
+        """Router-graph diameter; -1 when disconnected."""
+        return self.graph.diameter(sample=sample, rng=rng)
+
+    def average_shortest_path_length(
+        self, sample: int | None = None, rng=None
+    ) -> float:
+        """Mean router-to-router hop distance."""
+        return self.graph.average_shortest_path_length(sample=sample, rng=rng)
+
+    def is_connected(self) -> bool:
+        """True iff the router graph is connected."""
+        return self.graph.is_connected()
+
+    def config_summary(self) -> dict:
+        """Row for Table-V style configuration listings."""
+        return {
+            "name": self.name,
+            "routers": self.num_routers,
+            "links": self.num_links,
+            "network_radix": self.network_radix,
+            "endpoints": self.num_endpoints,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, N={self.num_routers}, "
+            f"k={self.network_radix}, links={self.num_links})"
+        )

@@ -1,0 +1,80 @@
+"""Dragonfly topology (Kim, Dally, Scott, Abts — ISCA'08).
+
+Canonical group-based diameter-3 direct network, the paper's DF1/DF2
+baselines:
+
+* ``a`` routers per group, fully connected intra-group (a complete graph);
+* ``h`` global links per router;
+* ``p`` endpoints per router;
+* ``g = a*h + 1`` groups, exactly one global link between every pair of
+  groups, so ``N = a * (a*h + 1)`` routers with network radix
+  ``k = a - 1 + h``.
+
+The *balanced* variant sets ``a = 2h, p = h`` (DF1: a=12, h=6, p=6);
+DF2 (a=6, h=27, p=10) matches PolarFly's radix and scale instead.
+
+Global links use the consecutive ("absolute") arrangement: group ``i``'s
+global slot ``s`` (0-based, owned by router ``s // h``) connects to group
+``(i + 1 + s) mod g``.
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+from repro.utils.graph import Graph
+
+__all__ = ["Dragonfly", "balanced_dragonfly"]
+
+
+class Dragonfly(Topology):
+    """Dragonfly with full intra-group and one-link inter-group wiring.
+
+    Parameters
+    ----------
+    a, h, p:
+        Routers per group, global links per router, endpoints per router.
+    """
+
+    def __init__(self, a: int, h: int, p: int = 0):
+        if a < 1 or h < 1:
+            raise ValueError("a and h must be >= 1")
+        self.a, self.h, self.p = int(a), int(h), int(p)
+        self.num_groups = a * h + 1
+        graph = self._build_graph()
+        super().__init__(f"DF(a={a},h={h},p={p})", graph, p)
+
+    def router_id(self, group: int, local: int) -> int:
+        """Dense router id for router ``local`` of ``group``."""
+        return group * self.a + local
+
+    def router_group(self, r: int) -> int:
+        """Group of router ``r``."""
+        return r // self.a
+
+    def _build_graph(self) -> Graph:
+        a, h, g = self.a, self.h, self.num_groups
+        edges: list[tuple[int, int]] = []
+        # Intra-group complete graphs.
+        for grp in range(g):
+            base = grp * a
+            for i in range(a):
+                for j in range(i + 1, a):
+                    edges.append((base + i, base + j))
+        # Global links: slot s of group i reaches group (i + 1 + s) mod g.
+        # Each unordered group pair gets exactly one link; record each once
+        # from the lower-offset side.
+        for grp in range(g):
+            for s in range(a * h):
+                dst_grp = (grp + 1 + s) % g
+                if dst_grp <= grp:
+                    continue  # the partner slot on dst_grp covers this pair
+                src = self.router_id(grp, s // h)
+                dst_slot = (grp - dst_grp - 1) % g
+                dst = self.router_id(dst_grp, dst_slot // h)
+                edges.append((src, dst))
+        return Graph(g * a, edges)
+
+
+def balanced_dragonfly(h: int) -> Dragonfly:
+    """The balanced configuration ``a = 2h, p = h`` for a given ``h``."""
+    return Dragonfly(a=2 * h, h=h, p=h)

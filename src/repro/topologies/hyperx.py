@@ -1,0 +1,75 @@
+"""HyperX / Hamming graphs (Ahn et al., SC'09).
+
+``HyperX(L, S)`` is the Hamming graph ``K_S**L``: vertices are length-``L``
+tuples over ``[S]``, adjacent iff they differ in exactly one coordinate
+(all-to-all in every dimension).  Diameter ``L``; the ``L = 2`` case is the
+diameter-2 Flattened-Butterfly generalization the paper compares against
+in Figure 2 (with ``N = S**2`` and ``k = 2(S-1)``).
+"""
+
+from __future__ import annotations
+
+from repro.topologies.base import Topology
+from repro.utils.graph import Graph
+
+__all__ = ["HyperX", "hyperx_order", "hyperx_radix"]
+
+
+def hyperx_order(L: int, S: int) -> int:
+    """Number of routers ``S**L``."""
+    return S**L
+
+
+def hyperx_radix(L: int, S: int) -> int:
+    """Network radix ``L * (S - 1)``."""
+    return L * (S - 1)
+
+
+class HyperX(Topology):
+    """Regular HyperX (Hamming graph) with equal per-dimension size.
+
+    Parameters
+    ----------
+    L:
+        Number of dimensions (diameter).
+    S:
+        Routers per dimension.
+    p:
+        Endpoints per router.
+    """
+
+    def __init__(self, L: int, S: int, p: int = 0):
+        if L < 1 or S < 2:
+            raise ValueError("need L >= 1 and S >= 2")
+        self.L, self.S = int(L), int(S)
+        graph = self._build_graph()
+        super().__init__(f"HX(L={L},S={S})", graph, p)
+
+    def router_coords(self, r: int) -> tuple[int, ...]:
+        """Mixed-radix coordinates of router ``r``."""
+        coords = []
+        for _ in range(self.L):
+            r, d = divmod(r, self.S)
+            coords.append(d)
+        return tuple(reversed(coords))
+
+    def router_id(self, coords) -> int:
+        """Inverse of :meth:`router_coords`."""
+        idx = 0
+        for d in coords:
+            idx = idx * self.S + d
+        return idx
+
+    def _build_graph(self) -> Graph:
+        L, S = self.L, self.S
+        n = S**L
+        edges = []
+        for u in range(n):
+            coords = list(self.router_coords(u))
+            for dim in range(L):
+                orig = coords[dim]
+                for val in range(orig + 1, S):
+                    coords[dim] = val
+                    edges.append((u, self.router_id(coords)))
+                coords[dim] = orig
+        return Graph(n, edges)

@@ -1,0 +1,95 @@
+"""Moore bound utilities and the two known diameter-2 Moore graphs.
+
+The Moore bound (equation (1) of the paper) upper-bounds the order of any
+graph with maximum degree ``k`` and diameter ``D``; for ``D = 2`` it is
+``N <= k**2 + 1``, met only by the pentagon, the Petersen graph (k=3), the
+Hoffman-Singleton graph (k=7), and possibly an unknown k=57 graph.  Both
+known nontrivial Moore graphs are constructed here as Figure-2 references.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.topologies.base import Topology
+from repro.utils.graph import Graph
+
+__all__ = [
+    "moore_bound",
+    "moore_bound_diameter2",
+    "petersen_graph",
+    "hoffman_singleton_graph",
+    "PetersenTopology",
+    "HoffmanSingletonTopology",
+]
+
+
+def moore_bound(k: int, D: int) -> int:
+    """Moore bound ``1 + k * sum_{i<D} (k-1)**i`` for degree k, diameter D."""
+    if k < 1 or D < 1:
+        raise ValueError("need k >= 1 and D >= 1")
+    if k == 1:
+        return 2
+    return 1 + k * sum((k - 1) ** i for i in range(D))
+
+
+def moore_bound_diameter2(k: int) -> int:
+    """``k**2 + 1`` — the diameter-2 specialization."""
+    return k * k + 1
+
+
+def petersen_graph() -> Graph:
+    """The Petersen graph as the Kneser graph K(5, 2).
+
+    Vertices are the 10 2-subsets of {0..4}; edges join disjoint subsets.
+    3-regular, diameter 2, meets the Moore bound (10 = 3**2 + 1).
+    """
+    subsets = list(combinations(range(5), 2))
+    index = {s: i for i, s in enumerate(subsets)}
+    edges = [
+        (index[a], index[b])
+        for a, b in combinations(subsets, 2)
+        if not (set(a) & set(b))
+    ]
+    return Graph(10, edges)
+
+
+def hoffman_singleton_graph() -> Graph:
+    """The Hoffman-Singleton graph (50 vertices, 7-regular, diameter 2).
+
+    Robertson's pentagon/pentagram construction: pentagons ``P_h`` with
+    vertices ``p_{h,i}`` (edges at distance 1 mod 5) and pentagrams
+    ``Q_h`` with ``q_{h,i}`` (edges at distance 2 mod 5); cross edges
+    ``p_{h,i} ~ q_{k, h*k + i mod 5}``.
+    """
+
+    def p(h, i):
+        return 5 * h + (i % 5)
+
+    def qv(h, i):
+        return 25 + 5 * h + (i % 5)
+
+    edges = []
+    for h in range(5):
+        for i in range(5):
+            edges.append((p(h, i), p(h, i + 1)))
+            edges.append((qv(h, i), qv(h, i + 2)))
+    for h in range(5):
+        for k in range(5):
+            for i in range(5):
+                edges.append((p(h, i), qv(k, h * k + i)))
+    return Graph(50, edges)
+
+
+class PetersenTopology(Topology):
+    """The Petersen graph wrapped as a network topology."""
+
+    def __init__(self, p: int = 0):
+        super().__init__("Petersen", petersen_graph(), p)
+
+
+class HoffmanSingletonTopology(Topology):
+    """The Hoffman-Singleton graph wrapped as a network topology."""
+
+    def __init__(self, p: int = 0):
+        super().__init__("Hoffman-Singleton", hoffman_singleton_graph(), p)

@@ -1,0 +1,27 @@
+"""Shared utilities: seeded RNG helpers, validation, and a compact graph kernel.
+
+These helpers are deliberately dependency-light (numpy only) so every other
+subpackage — topology construction, routing, the flit simulator, and the
+structural analyses — can share one graph representation and one RNG policy.
+"""
+
+from repro.utils.rng import make_rng
+from repro.utils.graph import Graph
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability,
+    check_in_range,
+)
+from repro.utils.export import to_edge_list, to_dot, to_json, cabling_manifest
+
+__all__ = [
+    "make_rng",
+    "Graph",
+    "check_positive_int",
+    "check_probability",
+    "check_in_range",
+    "to_edge_list",
+    "to_dot",
+    "to_json",
+    "cabling_manifest",
+]

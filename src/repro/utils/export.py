@@ -1,0 +1,65 @@
+"""Topology export for deployment and visualization tooling.
+
+Deployment teams consume wiring as flat files; this module serializes any
+:class:`~repro.topologies.base.Topology` to an edge list, Graphviz DOT, or
+a JSON document, and — for PolarFly with a layout — a per-rack cabling
+manifest matching the paper's modular deployment story (Section V).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["to_edge_list", "to_dot", "to_json", "cabling_manifest"]
+
+# NOTE: this module deliberately avoids importing repro.topologies —
+# utils must stay import-cycle-free since the topology layer builds on it.
+# Functions accept any object with the Topology duck-type (name, graph,
+# concentration, num_routers, network_radix).
+
+
+def to_edge_list(topo) -> str:
+    """One ``u v`` pair per line (undirected, u < v)."""
+    return "\n".join(f"{u} {v}" for u, v in topo.graph.edges().tolist())
+
+
+def to_dot(topo, name: "str | None" = None) -> str:
+    """Graphviz DOT representation (undirected)."""
+    safe = (name or topo.name).replace('"', "'")
+    lines = [f'graph "{safe}" {{']
+    for u, v in topo.graph.edges().tolist():
+        lines.append(f"  {u} -- {v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_json(topo) -> str:
+    """JSON document: name, sizes, concentration, and edge list."""
+    doc = {
+        "name": topo.name,
+        "num_routers": topo.num_routers,
+        "network_radix": topo.network_radix,
+        "concentration": topo.concentration.tolist(),
+        "edges": topo.graph.edges().tolist(),
+    }
+    return json.dumps(doc, indent=2)
+
+
+def cabling_manifest(layout) -> dict:
+    """Per-rack cabling plan for a PolarFly cluster layout.
+
+    Returns intra-rack edges per rack plus the inter-rack bundles (the
+    q-2 / q+1 link groups the paper suggests bundling into multi-core
+    fibers).
+    """
+    racks = {}
+    for i in range(layout.num_clusters):
+        racks[i] = {
+            "members": layout.cluster(i).tolist(),
+            "intra_links": layout.intra_cluster_edges(i),
+        }
+    bundles = {}
+    for i in range(layout.num_clusters):
+        for j in range(i + 1, layout.num_clusters):
+            bundles[f"{i}-{j}"] = layout.inter_cluster_edges(i, j)
+    return {"racks": racks, "bundles": bundles}

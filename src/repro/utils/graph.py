@@ -1,0 +1,258 @@
+"""A compact undirected-graph kernel shared by all subsystems.
+
+The graph is stored in CSR form (``indptr``/``indices``), which keeps
+neighbor iteration allocation-free and makes the BFS kernels below pure
+numpy frontier expansions — no per-vertex Python objects, no adjacency
+copies (guides: vectorize loops, prefer views over copies).
+
+Only what the reproduction needs is implemented: construction from edge
+lists, BFS distances, diameter / average shortest path length, connectivity,
+edge removal (for failure sweeps), and triangle enumeration (for the
+PolarFly structural theorems).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Immutable undirected simple graph over vertices ``0..n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``u != v``.  Duplicate edges are
+        collapsed; the graph is simple and undirected.
+    """
+
+    __slots__ = ("n", "indptr", "indices", "_edge_array")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]]):
+        self.n = int(n)
+        edge_arr = np.asarray(
+            [(u, v) if u < v else (v, u) for (u, v) in edges], dtype=np.int64
+        )
+        if edge_arr.size == 0:
+            edge_arr = edge_arr.reshape(0, 2)
+        else:
+            if edge_arr.min() < 0 or edge_arr.max() >= self.n:
+                raise ValueError("edge endpoint out of range")
+            if np.any(edge_arr[:, 0] == edge_arr[:, 1]):
+                raise ValueError("self-loops are not allowed")
+            edge_arr = np.unique(edge_arr, axis=0)
+        self._edge_array = edge_arr
+        # Build CSR from the symmetrized edge list.
+        src = np.concatenate([edge_arr[:, 0], edge_arr[:, 1]])
+        dst = np.concatenate([edge_arr[:, 1], edge_arr[:, 0]])
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        self.indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.add.at(self.indptr, src + 1, 1)
+        np.cumsum(self.indptr, out=self.indptr)
+        self.indices = dst
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_adjacency_matrix(cls, adj: np.ndarray) -> "Graph":
+        """Build from a boolean/0-1 adjacency matrix (diagonal ignored)."""
+        adj = np.asarray(adj)
+        if adj.ndim != 2 or adj.shape[0] != adj.shape[1]:
+            raise ValueError("adjacency matrix must be square")
+        iu, ju = np.nonzero(np.triu(adj != 0, k=1))
+        return cls(adj.shape[0], zip(iu.tolist(), ju.tolist()))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self._edge_array.shape[0])
+
+    def edges(self) -> np.ndarray:
+        """The ``(m, 2)`` array of undirected edges with ``u < v`` (a view)."""
+        return self._edge_array
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbor array of ``v`` (a CSR view, do not mutate)."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int | None = None):
+        """Degree of ``v``, or the full degree vector when ``v`` is None."""
+        if v is None:
+            return np.diff(self.indptr)
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``{u, v}`` is an edge."""
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < nbrs.size and nbrs[pos] == v)
+
+    def adjacency_matrix(self, dtype=bool) -> np.ndarray:
+        """Dense adjacency matrix (freshly allocated)."""
+        adj = np.zeros((self.n, self.n), dtype=dtype)
+        e = self._edge_array
+        adj[e[:, 0], e[:, 1]] = 1
+        adj[e[:, 1], e[:, 0]] = 1
+        return adj
+
+    # ------------------------------------------------------------------
+    # Shortest paths (unweighted)
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: int) -> np.ndarray:
+        """Hop distances from ``source``; unreachable vertices get -1.
+
+        Frontier-expansion BFS: each level gathers all neighbor slices of
+        the current frontier in one vectorized pass.
+        """
+        dist = np.full(self.n, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            level += 1
+            # Gather all neighbors of the frontier in one shot.
+            starts = self.indptr[frontier]
+            stops = self.indptr[frontier + 1]
+            total = int((stops - starts).sum())
+            if total == 0:
+                break
+            out = np.empty(total, dtype=np.int64)
+            pos = 0
+            for s, t in zip(starts, stops):
+                out[pos : pos + (t - s)] = self.indices[s:t]
+                pos += t - s
+            cand = out[dist[out] < 0]
+            if cand.size == 0:
+                break
+            cand = np.unique(cand)
+            dist[cand] = level
+            frontier = cand
+        return dist
+
+    def distances_from(self, sources: Sequence[int]) -> np.ndarray:
+        """Stacked BFS distances, one row per source."""
+        return np.stack([self.bfs_distances(int(s)) for s in sources])
+
+    def eccentricity(self, v: int) -> int:
+        """Max distance from ``v``; -1 when the graph is disconnected."""
+        dist = self.bfs_distances(v)
+        if np.any(dist < 0):
+            return -1
+        return int(dist.max())
+
+    def diameter(self, sample: int | None = None, rng=None) -> int:
+        """Graph diameter; -1 when disconnected.
+
+        ``sample`` limits the number of BFS sources (lower bound estimate)
+        for large failure sweeps; exact when None.
+        """
+        sources = np.arange(self.n)
+        if sample is not None and sample < self.n:
+            from repro.utils.rng import make_rng
+
+            sources = make_rng(rng).choice(self.n, size=sample, replace=False)
+        worst = 0
+        for s in sources:
+            ecc = self.eccentricity(int(s))
+            if ecc < 0:
+                return -1
+            worst = max(worst, ecc)
+        return worst
+
+    def average_shortest_path_length(
+        self, sample: int | None = None, rng=None
+    ) -> float:
+        """Mean pairwise hop distance; ``inf`` when disconnected."""
+        sources = np.arange(self.n)
+        if sample is not None and sample < self.n:
+            from repro.utils.rng import make_rng
+
+            sources = make_rng(rng).choice(self.n, size=sample, replace=False)
+        total = 0
+        count = 0
+        for s in sources:
+            dist = self.bfs_distances(int(s))
+            if np.any(dist < 0):
+                return float("inf")
+            total += int(dist.sum())
+            count += self.n - 1
+        return total / count if count else 0.0
+
+    def is_connected(self) -> bool:
+        """True iff every vertex is reachable from vertex 0."""
+        if self.n == 0:
+            return True
+        return bool(np.all(self.bfs_distances(0) >= 0))
+
+    # ------------------------------------------------------------------
+    # Mutation-by-copy
+    # ------------------------------------------------------------------
+    def remove_edges(self, doomed: Iterable[tuple[int, int]]) -> "Graph":
+        """Return a new graph with ``doomed`` edges removed."""
+        doomed_set = {(u, v) if u < v else (v, u) for (u, v) in doomed}
+        keep = [
+            (int(u), int(v))
+            for (u, v) in self._edge_array
+            if (int(u), int(v)) not in doomed_set
+        ]
+        return Graph(self.n, keep)
+
+    def subgraph_mask(self, mask: np.ndarray) -> "Graph":
+        """Induced subgraph on vertices where ``mask`` is True (relabelled)."""
+        mask = np.asarray(mask, dtype=bool)
+        new_id = np.full(self.n, -1, dtype=np.int64)
+        new_id[mask] = np.arange(int(mask.sum()))
+        kept = [
+            (int(new_id[u]), int(new_id[v]))
+            for (u, v) in self._edge_array
+            if mask[u] and mask[v]
+        ]
+        return Graph(int(mask.sum()), kept)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def triangles(self) -> list[tuple[int, int, int]]:
+        """All triangles as sorted vertex triples.
+
+        Uses the standard forward-neighborhood intersection: for each edge
+        ``(u, v)`` with ``u < v``, intersect the higher-numbered neighbors.
+        """
+        out: list[tuple[int, int, int]] = []
+        for u, v in self._edge_array:
+            nu = self.neighbors(int(u))
+            nv = self.neighbors(int(v))
+            common = np.intersect1d(
+                nu[nu > v], nv[nv > v], assume_unique=True
+            )
+            for w in common:
+                out.append((int(u), int(v), int(w)))
+        return out
+
+    def count_4cycles(self) -> int:
+        """Number of quadrilaterals (4-cycles) in the graph.
+
+        Counted via paths of length 2: an unordered pair with ``p2`` common
+        neighbors contributes ``C(p2, 2)`` quadrilaterals, and every
+        quadrilateral is seen by both of its diagonal pairs — hence the
+        final halving.
+        """
+        adj = self.adjacency_matrix(dtype=np.int64)
+        p2 = adj @ adj
+        iu = np.triu_indices(self.n, k=1)
+        c = p2[iu]
+        return int((c * (c - 1) // 2).sum()) // 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.n}, m={self.num_edges})"

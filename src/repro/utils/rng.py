@@ -1,0 +1,27 @@
+"""Deterministic RNG construction.
+
+Every stochastic component in the library takes either an integer seed or an
+already-constructed :class:`numpy.random.Generator`.  Centralizing the
+coercion here keeps experiments reproducible: the same seed always yields the
+same traffic pattern, the same Jellyfish wiring, and the same failure sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng"]
+
+
+def make_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an ``int`` seed, or an existing
+        ``Generator`` (returned unchanged so callers can share a stream).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

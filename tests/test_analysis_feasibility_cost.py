@@ -1,0 +1,149 @@
+"""Unit tests for the feasibility (Figs 1-2, Table I) and cost (Fig 15) analyses."""
+
+import pytest
+
+from repro.analysis import (
+    FEASIBILITY_TABLE,
+    NORMALIZED_COSTS,
+    CostModel,
+    cost_comparison,
+    feasible_radix_counts,
+    moore_efficiency_curve,
+    polarfly_feasible_radixes,
+    polarfly_plus_feasible_radixes,
+    slimfly_feasible_radixes,
+)
+from repro.core import PolarFly
+from repro.topologies import SlimFly
+
+
+class TestFigure1:
+    def test_slimfly_counts_match_paper(self):
+        counts = feasible_radix_counts()
+        assert counts["SlimFly"] == [6, 11, 17, 19, 26, 32]
+
+    def test_polarfly_counts_match_paper(self):
+        counts = feasible_radix_counts()
+        assert counts["PolarFly"] == [9, 17, 22, 26, 34, 43]
+
+    def test_polarfly_plus_close_to_paper(self):
+        # The paper's exact PF+ counting rule is unstated; ours (one
+        # quadric-replication step) matches at <=16 and stays within 3.
+        paper = [12, 23, 33, 39, 53, 68]
+        ours = feasible_radix_counts()["PolarFly+"]
+        assert ours[0] == paper[0]
+        for a, b in zip(ours, paper):
+            assert abs(a - b) <= 3
+
+    def test_asymptotic_50_percent_advantage(self):
+        # PolarFly offers ~50% more feasible radixes than Slim Fly.
+        pf = len(polarfly_feasible_radixes(128))
+        sf = len(slimfly_feasible_radixes(128))
+        assert pf / sf == pytest.approx(1.5, abs=0.25)
+
+    def test_hw_friendly_radixes(self):
+        # Section I: radixes 32, 48, 62, 128 are PolarFly-feasible.
+        radixes = set(polarfly_feasible_radixes(128))
+        assert {32, 48, 62, 128} <= radixes
+
+    def test_plus_is_superset(self):
+        base = set(polarfly_feasible_radixes(64))
+        plus = set(polarfly_plus_feasible_radixes(64))
+        assert base <= plus
+
+
+class TestFigure2:
+    def test_polarfly_dominates_at_moderate_radix(self):
+        # Figure 2: PolarFly sits above every other family for the radix
+        # range that matters (>= 10); at toy radixes SF(q=4) can edge it.
+        curves = moore_efficiency_curve(64)
+        pf = dict(curves["PolarFly"])
+        sf = dict(curves["SlimFly"])
+        hx = dict(curves["HyperX"])
+        for k in (x for x in set(pf) & set(sf) if x >= 10):
+            assert pf[k] > sf[k]
+        for k in (x for x in set(pf) & set(hx) if x >= 10):
+            assert pf[k] > hx[k]
+
+    def test_polarfly_efficiency_above_96pct(self):
+        curves = dict(moore_efficiency_curve(128)["PolarFly"])
+        assert curves[32] > 0.96
+        assert curves[128] > 0.96
+
+    def test_slimfly_approaches_8_9(self):
+        curves = dict(moore_efficiency_curve(128)["SlimFly"])
+        assert curves[max(curves)] == pytest.approx(8 / 9, abs=0.03)
+
+    def test_hyperx_low(self):
+        curves = dict(moore_efficiency_curve(64)["HyperX"])
+        assert all(v < 0.36 for k, v in curves.items() if k >= 10)
+
+    def test_moore_graphs_at_100pct(self):
+        assert dict(moore_efficiency_curve(16)["Moore graphs"]) == {3: 1.0, 7: 1.0}
+
+    def test_matches_actual_constructions(self):
+        curves = dict(moore_efficiency_curve(16)["PolarFly"])
+        assert curves[8] == pytest.approx(PolarFly(7).moore_bound_efficiency)
+        sf_curves = dict(moore_efficiency_curve(16)["SlimFly"])
+        assert sf_curves[7] == pytest.approx(SlimFly(5).moore_bound_efficiency)
+
+
+class TestTableI:
+    def test_polarfly_satisfies_most(self):
+        row = FEASIBILITY_TABLE["PolarFly"]
+        assert row["direct"] == "full"
+        assert row["diameter2"] == "full"
+        assert row["flexible"] == "full"
+
+    def test_only_polarfly_full_on_four_criteria(self):
+        # Table I: PolarFly is the only topology with >= 4 full marks.
+        fulls = {
+            name: sum(v == "full" for v in row.values())
+            for name, row in FEASIBILITY_TABLE.items()
+        }
+        best = max(fulls.values())
+        assert fulls["PolarFly"] == best
+        assert sum(1 for v in fulls.values() if v == best) == 1
+
+    def test_all_rows_complete(self):
+        criteria = {"direct", "modular", "expandable", "flexible", "diameter2"}
+        for row in FEASIBILITY_TABLE.values():
+            assert set(row) == criteria
+            assert set(row.values()) <= {"full", "partial", "no"}
+
+
+class TestFigure15:
+    def test_polarfly_is_cheapest(self):
+        for scenario, costs in cost_comparison().items():
+            assert min(costs, key=costs.get) == "PolarFly"
+            assert costs["PolarFly"] == 1.0
+
+    def test_ordering_uniform(self):
+        costs = cost_comparison()["uniform"]
+        assert costs["PolarFly"] < costs["Slim Fly"] < costs["Dragonfly"] < costs["Fat-tree"]
+
+    def test_ordering_permutation(self):
+        costs = cost_comparison()["permutation"]
+        assert costs["PolarFly"] < costs["Slim Fly"] < costs["Dragonfly"]
+        assert costs["Fat-tree"] > costs["Slim Fly"]
+
+    def test_within_10pct_of_paper(self):
+        ours = cost_comparison()
+        for scenario in ("uniform", "permutation"):
+            for name, paper_value in NORMALIZED_COSTS[scenario].items():
+                assert ours[scenario][name] == pytest.approx(
+                    paper_value, rel=0.12
+                ), (scenario, name)
+
+    def test_slimfly_about_20pct_over(self):
+        costs = cost_comparison()["uniform"]
+        assert 1.1 < costs["Slim Fly"] < 1.35
+
+    def test_fat_tree_expensive_uniform(self):
+        # Paper: 5.19x under uniform.
+        assert cost_comparison()["uniform"]["Fat-tree"] > 4.0
+
+    def test_custom_scale(self):
+        model = CostModel(nodes=2048)
+        costs = model.normalized("uniform")
+        assert costs["PolarFly"] == 1.0

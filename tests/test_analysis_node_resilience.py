@@ -1,0 +1,67 @@
+"""Unit tests for router-failure analysis (Section IX-B node failures)."""
+
+import pytest
+
+from repro.analysis.node_resilience import (
+    node_failure_diameter,
+    node_failure_sweep,
+    remove_nodes,
+)
+from repro.core import PolarFly
+from repro.topologies import SlimFly
+
+
+@pytest.fixture(scope="module")
+def pf():
+    return PolarFly(7)
+
+
+class TestSingleNodeFailure:
+    def test_polarfly_diameter_becomes_three(self, pf):
+        # Section IX-B: any single node failure raises the diameter from
+        # 2 to exactly 3 — neighbors of the failed midpoint still reach
+        # each other within 3 hops.
+        for node in (0, int(pf.quadrics[0]), int(pf.v1[0]), int(pf.v2[0])):
+            assert node_failure_diameter(pf, node) == 3
+
+    def test_stays_connected(self, pf):
+        for node in range(0, pf.num_routers, 11):
+            sub = remove_nodes(pf, [node])
+            assert sub.is_connected()
+            assert sub.n == pf.num_routers - 1
+
+    def test_slimfly_similar(self):
+        sf = SlimFly(5)
+        assert node_failure_diameter(sf, 0) in (2, 3)
+
+
+class TestMultiNodeFailure:
+    def test_sweep_shape(self, pf):
+        res = node_failure_sweep(pf, counts=(1, 3, 5), runs=3, seed=0)
+        assert set(res) == {1, 3, 5}
+        assert all(len(v) == 3 for v in res.values())
+
+    def test_one_node_runs_all_give_three(self, pf):
+        res = node_failure_sweep(pf, counts=(1,), runs=4, seed=1)
+        assert all(d == 3 for d in res[1])
+
+    def test_moderate_failures_bounded(self, pf):
+        # A handful of router failures keeps diameter small.
+        res = node_failure_sweep(pf, counts=(5,), runs=3, seed=2)
+        assert all(0 <= d <= 5 for d in res[5])
+
+    def test_deterministic(self, pf):
+        a = node_failure_sweep(pf, counts=(2,), runs=3, seed=9)
+        b = node_failure_sweep(pf, counts=(2,), runs=3, seed=9)
+        assert a == b
+
+
+class TestRemoveNodes:
+    def test_removes_incident_links(self, pf):
+        deg0 = int(pf.graph.degree(0))
+        sub = remove_nodes(pf, [0])
+        assert sub.num_edges == pf.num_links - deg0
+
+    def test_multiple(self, pf):
+        sub = remove_nodes(pf, [0, 1, 2])
+        assert sub.n == pf.num_routers - 3

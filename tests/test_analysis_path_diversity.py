@@ -1,0 +1,112 @@
+"""Unit tests for Table VI path diversity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    classify_pair,
+    exact_path_counts,
+    observed_counts_avoiding_midpoint,
+    observed_path_counts,
+    paper_path_counts,
+)
+from repro.core import PolarFly
+
+
+@pytest.fixture(scope="module", params=(5, 7))
+def pf(request):
+    return PolarFly(request.param)
+
+
+def sample_pairs(pf, n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    while len(out) < n:
+        v, w = map(int, rng.integers(0, pf.num_routers, 2))
+        if v != w:
+            out.append((v, w))
+    return out
+
+
+class TestClassify:
+    def test_classes_sorted(self, pf):
+        for v, w in sample_pairs(pf, 20):
+            case = classify_pair(pf, v, w)
+            assert case.class_v <= case.class_w
+
+    def test_adjacent_has_no_midpoint_class(self, pf):
+        e = pf.graph.edges()[0]
+        case = classify_pair(pf, int(e[0]), int(e[1]))
+        assert case.adjacent and case.intermediate_is_quadric is None
+
+    def test_same_vertex_rejected(self, pf):
+        with pytest.raises(ValueError):
+            classify_pair(pf, 3, 3)
+
+    def test_midpoint_quadric_only_for_v1_pairs(self, pf):
+        # Quadrics are only adjacent to V1, so a quadric midpoint forces
+        # both endpoints into V1.
+        for v, w in sample_pairs(pf, 60, seed=3):
+            case = classify_pair(pf, v, w)
+            if not case.adjacent and case.intermediate_is_quadric:
+                assert case.class_v == "V1" and case.class_w == "V1"
+
+
+class TestExactCounts:
+    def test_match_enumeration(self, pf):
+        for v, w in sample_pairs(pf, 60, seed=1):
+            case = classify_pair(pf, v, w)
+            expected = exact_path_counts(pf.q, case)
+            observed = observed_path_counts(pf, v, w)
+            assert expected == observed, (v, w, case)
+
+    def test_all_length4_theta_q2(self, pf):
+        # The paper's point: every pair has Theta(q^2) 4-hop paths.
+        q = pf.q
+        for v, w in sample_pairs(pf, 40, seed=2):
+            case = classify_pair(pf, v, w)
+            c4 = exact_path_counts(q, case)[4]
+            assert (q - 2) ** 2 <= c4 <= q * q
+
+    def test_no_2_or_3_paths_quadric_edge(self, pf):
+        # Table VI: adjacent pairs with a quadric endpoint have no 2- or
+        # 3-hop alternatives — the reason one quadric link failure pushes
+        # the diameter to 4.
+        for w in pf.quadrics:
+            v = int(pf.graph.neighbors(int(w))[0])
+            obs = observed_path_counts(pf, v, int(w))
+            assert obs[2] == 0 and obs[3] == 0
+            assert obs[4] > 0
+
+
+class TestPaperCounts:
+    def test_length3_matches_midpoint_avoidance(self, pf):
+        for v, w in sample_pairs(pf, 50, seed=4):
+            case = classify_pair(pf, v, w)
+            if case.adjacent:
+                continue
+            paper = paper_path_counts(pf.q, case)
+            avoiding = observed_counts_avoiding_midpoint(pf, v, w, max_length=3)
+            assert paper[3] == avoiding[3], (v, w, case)
+
+    def test_lengths_1_2_match_exact(self, pf):
+        for v, w in sample_pairs(pf, 50, seed=5):
+            case = classify_pair(pf, v, w)
+            paper = paper_path_counts(pf.q, case)
+            exact = exact_path_counts(pf.q, case)
+            assert paper[1] == exact[1] and paper[2] == exact[2]
+
+    def test_length4_agrees_for_nonquadric_cases(self, pf):
+        for v, w in sample_pairs(pf, 60, seed=6):
+            case = classify_pair(pf, v, w)
+            if "W" in (case.class_v, case.class_w) and not case.adjacent:
+                continue  # the three cases where the paper's entry differs
+            assert (
+                paper_path_counts(pf.q, case)[4]
+                == exact_path_counts(pf.q, case)[4]
+            )
+
+    def test_avoidance_requires_nonadjacent(self, pf):
+        e = pf.graph.edges()[0]
+        with pytest.raises(ValueError):
+            observed_counts_avoiding_midpoint(pf, int(e[0]), int(e[1]))

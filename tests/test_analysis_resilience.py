@@ -1,0 +1,87 @@
+"""Unit tests for link-failure resilience (Figure 14)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FailureSweep, link_failure_sweep, median_disconnection_sweep
+from repro.core import PolarFly
+
+
+@pytest.fixture(scope="module")
+def pf():
+    return PolarFly(7)
+
+
+class TestLinkFailureSweep:
+    def test_zero_failures_baseline(self, pf):
+        sweep = link_failure_sweep(pf, steps=[0.0], seed=0)
+        assert sweep.diameters[0] == 2
+        assert sweep.aspl[0] == pytest.approx(
+            pf.average_shortest_path_length()
+        )
+
+    def test_monotone_failure_ratios(self, pf):
+        sweep = link_failure_sweep(pf, steps=np.arange(0, 0.6, 0.1), seed=0)
+        assert np.all(np.diff(sweep.ratios) > 0)
+
+    def test_diameter_grows_with_failures(self, pf):
+        sweep = link_failure_sweep(pf, steps=[0.0, 0.3], seed=1)
+        assert sweep.diameters[1] >= sweep.diameters[0]
+
+    def test_single_link_failure_diameter_3_or_4(self, pf):
+        # Section IX-B: one failed link raises the diameter to 3, or 4 if
+        # the link touches a quadric.
+        edges = pf.graph.edges()
+        one = 1 / edges.shape[0]
+        for seed in range(4):
+            sweep = link_failure_sweep(pf, steps=[one], seed=seed)
+            assert sweep.diameters[0] in (3, 4)
+
+    def test_diameter_stays_4_at_heavy_failure(self):
+        # Paper: diameter experimentally stays at 4 even after 55% link
+        # failure thanks to Theta(q^2) 4-hop diversity.  The effect needs
+        # a moderate q (q=7 has only ~49 such paths; q=31 has ~961) — at
+        # q=11 it already holds at 40% failure.
+        pf11 = PolarFly(11)
+        for seed in range(2):
+            sweep = link_failure_sweep(pf11, steps=[0.4], seed=seed)
+            assert 0 <= sweep.diameters[0] <= 4
+
+    def test_deterministic_under_seed(self, pf):
+        s1 = link_failure_sweep(pf, steps=[0.2, 0.4], seed=9)
+        s2 = link_failure_sweep(pf, steps=[0.2, 0.4], seed=9)
+        assert np.array_equal(s1.diameters, s2.diameters)
+
+    def test_stops_on_disconnect(self, pf):
+        sweep = link_failure_sweep(
+            pf, steps=np.arange(0.0, 1.0, 0.05), seed=0, stop_on_disconnect=True
+        )
+        if np.any(sweep.diameters < 0):
+            assert sweep.diameters[-1] < 0
+            assert np.all(sweep.diameters[:-1] >= 0)
+
+    def test_full_failure_disconnects(self, pf):
+        sweep = link_failure_sweep(pf, steps=[0.99], seed=0)
+        assert sweep.diameters[0] == -1
+        assert sweep.aspl[0] == float("inf")
+
+
+class TestDisconnectionRatio:
+    def test_property(self):
+        sweep = FailureSweep(
+            ratios=np.array([0.1, 0.2, 0.3]),
+            diameters=np.array([3, 4, -1]),
+            aspl=np.array([1.9, 2.2, np.inf]),
+        )
+        assert sweep.disconnection_ratio == pytest.approx(0.3)
+
+    def test_never_disconnected(self):
+        sweep = FailureSweep(
+            ratios=np.array([0.1]), diameters=np.array([3]), aspl=np.array([2.0])
+        )
+        assert sweep.disconnection_ratio == 1.0
+
+    def test_median_sweep(self, pf):
+        med = median_disconnection_sweep(pf, runs=3, steps=[0.3, 0.6, 0.9], seed=0)
+        assert isinstance(med, FailureSweep)
+        assert med.ratios[0] == pytest.approx(0.3)

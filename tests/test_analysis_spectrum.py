@@ -1,0 +1,81 @@
+"""Unit tests for spectral expansion analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrum import (
+    adjacency_spectrum,
+    cheeger_lower_bound,
+    is_ramanujan_spectrum,
+    spectral_expansion,
+)
+from repro.core import PolarFly
+from repro.core.incidence import IncidenceGraph
+from repro.topologies import Jellyfish
+from repro.utils.graph import Graph
+
+
+class TestIncidenceSpectrum:
+    @pytest.mark.parametrize("q", (3, 5, 7))
+    def test_bq_spectrum_is_pm_q1_pm_sqrt_q(self, q):
+        # B(q) is the incidence graph of a projective plane: eigenvalues
+        # exactly {+-(q+1), +-sqrt(q)}.
+        bq = IncidenceGraph(q)
+        vals = adjacency_spectrum(bq.graph)
+        expected = {q + 1.0, -(q + 1.0), np.sqrt(q), -np.sqrt(q)}
+        observed = {round(float(v), 6) for v in vals}
+        assert observed == {round(e, 6) for e in expected}
+
+    @pytest.mark.parametrize("q", (3, 5, 7))
+    def test_bq_is_ramanujan(self, q):
+        assert is_ramanujan_spectrum(IncidenceGraph(q).graph)
+
+
+class TestPolarFlySpectrum:
+    @pytest.mark.parametrize("q", (5, 7, 9))
+    def test_second_eigenvalue_near_sqrt_q(self, q):
+        pf = PolarFly(q)
+        lam2 = spectral_expansion(pf)["lambda2"]
+        # ER_q is near-regular; its non-principal spectrum concentrates
+        # around +-sqrt(q) (small perturbation from the quadric loops).
+        assert lam2 == pytest.approx(np.sqrt(q), rel=0.35)
+
+    def test_large_gap(self):
+        pf = PolarFly(9)
+        s = spectral_expansion(pf)
+        assert s["gap"] > s["lambda1"] * 0.5  # strong expander
+
+    def test_cheeger_bound_consistent_with_bisection(self):
+        # The Figure 12 cut must respect the spectral guarantee:
+        # cut_edges >= bound * n/2.
+        from repro.analysis import bisection_cut
+
+        pf = PolarFly(7)
+        bound = cheeger_lower_bound(pf)
+        _, cut = bisection_cut(pf)
+        assert cut >= bound * (pf.num_routers // 2) * 0.99
+
+    def test_polarfly_expands_like_jellyfish(self):
+        # Section IX: PF and random expanders have comparable gaps.
+        pf = PolarFly(7)
+        jf = Jellyfish(n=57, r=8, seed=0)
+        gap_pf = spectral_expansion(pf)["gap"] / spectral_expansion(pf)["lambda1"]
+        gap_jf = spectral_expansion(jf)["gap"] / spectral_expansion(jf)["lambda1"]
+        assert gap_pf > 0.5 * gap_jf
+
+
+class TestHelpers:
+    def test_spectrum_descending(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        vals = adjacency_spectrum(g)
+        assert np.all(np.diff(vals) <= 1e-9)
+
+    def test_cycle_not_great_expander(self):
+        g = Graph(12, [(i, (i + 1) % 12) for i in range(12)])
+        assert spectral_expansion(g)["gap"] < 0.3
+
+    def test_complete_graph_ramanujan(self):
+        g = Graph(6, [(i, j) for i in range(6) for j in range(i + 1, 6)])
+        assert is_ramanujan_spectrum(g)
+        # K6: (d - lambda2)/2 = (5 - 1)/2 = 2 exactly.
+        assert cheeger_lower_bound(g) == pytest.approx(2.0)

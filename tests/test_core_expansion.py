@@ -1,0 +1,157 @@
+"""Unit tests for incremental expansion — paper Section VI."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusterLayout,
+    PolarFly,
+    replicate_nonquadric_clusters,
+    replicate_quadrics,
+)
+
+
+class TestQuadricReplication:
+    @pytest.mark.parametrize("times", (1, 2, 3))
+    def test_size_growth(self, pf7, times):
+        ex = replicate_quadrics(pf7, times)
+        assert ex.num_routers == pf7.num_routers + times * 8  # q+1 per step
+
+    @pytest.mark.parametrize("times", (1, 2, 3))
+    def test_diameter_stays_two(self, pf7, times):
+        assert replicate_quadrics(pf7, times).diameter() == 2
+
+    def test_no_rewiring(self, pf7):
+        # Every original edge survives expansion.
+        ex = replicate_quadrics(pf7, 2)
+        original = {tuple(e) for e in pf7.graph.edges().tolist()}
+        expanded = {tuple(e) for e in ex.graph.edges().tolist()}
+        assert original <= expanded
+
+    def test_degree_deltas(self, pf7):
+        # Section VI-A: per replication quadrics +1, V1 +2, V2 +0.
+        for times in (1, 2):
+            ex = replicate_quadrics(pf7, times)
+            deg0 = pf7.graph.degree()
+            deg1 = ex.graph.degree()[: pf7.num_routers]
+            delta = deg1 - deg0
+            assert np.all(delta[pf7.quadrics] == times)
+            assert np.all(delta[pf7.v1] == 2 * times)
+            assert np.all(delta[pf7.v2] == 0)
+
+    def test_replica_links_to_all_clusters(self, pf7):
+        # Section VI-A claim 3: q+1 edges between C0' and every cluster.
+        lay = ClusterLayout(pf7)
+        ex = replicate_quadrics(pf7, 1, layout=lay)
+        replica_ids = np.arange(pf7.num_routers, ex.num_routers)
+        for i in range(1, 8):
+            members = set(lay.cluster(i).tolist())
+            count = sum(
+                1
+                for rnew in replica_ids
+                for v in ex.graph.neighbors(int(rnew))
+                if int(v) in members
+            )
+            assert count == 8  # q + 1
+
+    def test_replica_of_mapping(self, pf7):
+        ex = replicate_quadrics(pf7, 1)
+        for new_id in range(pf7.num_routers, ex.num_routers):
+            orig = int(ex.replica_of[new_id])
+            assert pf7.is_quadric(orig)
+
+    def test_growth_fraction(self, pf7):
+        ex = replicate_quadrics(pf7, 3)
+        assert ex.growth_fraction == pytest.approx(24 / 57)
+
+    def test_invalid_times(self, pf7):
+        with pytest.raises(ValueError):
+            replicate_quadrics(pf7, 0)
+
+
+class TestNonQuadricReplication:
+    @pytest.mark.parametrize("times", (1, 2, 3))
+    def test_size_growth(self, pf7, times):
+        ex = replicate_nonquadric_clusters(pf7, times)
+        assert ex.num_routers == pf7.num_routers + times * 7  # q per step
+
+    @pytest.mark.parametrize("times", (1, 3))
+    def test_diameter_three(self, pf7, times):
+        # Section VI-B claim 3.
+        assert replicate_nonquadric_clusters(pf7, times).diameter() == 3
+
+    @pytest.mark.parametrize("times", (1, 3))
+    def test_aspl_below_two(self, pf7, times):
+        ex = replicate_nonquadric_clusters(pf7, times)
+        assert ex.average_shortest_path_length() < 2.0
+
+    @pytest.mark.parametrize("times", (1, 2, 3))
+    def test_max_degree_increase(self, pf7, times):
+        # Section VI-B claim 2: max degree +(n+1).
+        ex = replicate_nonquadric_clusters(pf7, times)
+        assert ex.graph.degree().max() == pf7.graph.degree().max() + times + 1
+
+    def test_no_rewiring(self, pf7):
+        ex = replicate_nonquadric_clusters(pf7, 2)
+        original = {tuple(e) for e in pf7.graph.edges().tolist()}
+        expanded = {tuple(e) for e in ex.graph.edges().tolist()}
+        assert original <= expanded
+
+    def test_replica_cluster_is_fan_copy(self, pf7):
+        # The replica preserves the intra-cluster (fan) edge pattern.
+        lay = ClusterLayout(pf7)
+        ex = replicate_nonquadric_clusters(pf7, 1, layout=lay)
+        members = [int(v) for v in lay.cluster(1)]
+        replica = {v: pf7.num_routers + i for i, v in enumerate(members)}
+        for a in members:
+            for b in members:
+                if a < b:
+                    assert pf7.graph.has_edge(a, b) == ex.graph.has_edge(
+                        replica[a], replica[b]
+                    )
+
+    def test_degree_distribution_near_uniform(self, pf7):
+        # Table IV: "uniform" degree distribution — spread stays tight.
+        ex = replicate_nonquadric_clusters(pf7, 3)
+        deg = ex.graph.degree()
+        assert deg.max() - deg.min() <= 5
+
+    def test_more_scalable_than_quadric(self, pf7):
+        # Table IV: scalability = nodes added per unit increase in the
+        # maximum network radix — (q+1)/2 for quadric replication vs ~q
+        # for non-quadric replication.
+        times = 3
+        exq = replicate_quadrics(pf7, times)
+        exn = replicate_nonquadric_clusters(pf7, times)
+        base_deg = pf7.graph.degree().max()
+        scal_q = (exq.num_routers - pf7.num_routers) / (
+            exq.graph.degree().max() - base_deg
+        )
+        scal_n = (exn.num_routers - pf7.num_routers) / (
+            exn.graph.degree().max() - base_deg
+        )
+        assert scal_q == pytest.approx((7 + 1) / 2)
+        assert scal_n > scal_q
+
+    def test_times_bounded_by_q(self, pf7):
+        with pytest.raises(ValueError):
+            replicate_nonquadric_clusters(pf7, 8)
+
+    def test_invalid_times(self, pf7):
+        with pytest.raises(ValueError):
+            replicate_nonquadric_clusters(pf7, 0)
+
+
+class TestExpandedTopologyMetadata:
+    def test_names(self, pf7):
+        assert "quadric" in replicate_quadrics(pf7, 1).name
+        assert "nonquadric" in replicate_nonquadric_clusters(pf7, 1).name
+
+    def test_base_reference(self, pf7):
+        assert replicate_quadrics(pf7, 1).base is pf7
+
+    def test_larger_q(self):
+        pf = PolarFly(11)
+        ex = replicate_nonquadric_clusters(pf, 4)
+        assert ex.num_routers == 133 + 44
+        assert ex.diameter() == 3

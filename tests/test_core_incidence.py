@@ -1,0 +1,66 @@
+"""Unit tests for the B(q) incidence graph and polarity quotient."""
+
+import numpy as np
+import pytest
+
+from repro.core import PolarFly
+from repro.core.incidence import IncidenceGraph, polarity_quotient
+
+
+@pytest.fixture(scope="module", params=(3, 5, 7, 9))
+def bq(request):
+    return IncidenceGraph(request.param)
+
+
+class TestIncidenceGraph:
+    def test_order(self, bq):
+        n = bq.q**2 + bq.q + 1
+        assert bq.graph.n == 2 * n
+
+    def test_regular_degree(self, bq):
+        # Each point lies on q+1 lines, each line holds q+1 points.
+        assert np.all(bq.graph.degree() == bq.q + 1)
+
+    def test_bipartite(self, bq):
+        n = bq.n_points
+        for u, v in bq.graph.edges():
+            assert bq.is_point(int(u)) != bq.is_point(int(v))
+
+    def test_diameter_three(self, bq):
+        assert bq.graph.diameter() == 3
+
+    def test_dual_involution(self, bq):
+        for v in (0, 3, bq.n_points, bq.n_points + 5):
+            assert bq.dual(bq.dual(v)) == v
+
+    def test_incidence_symmetry(self, bq):
+        # [x] lies on [a]^perp iff [a] lies on [x]^perp.
+        for u, v in bq.graph.edges()[:100]:
+            u, v = int(u), int(v)
+            assert bq.graph.has_edge(bq.dual(u), bq.dual(v))
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            IncidenceGraph(6)
+
+
+class TestPolarityQuotient:
+    def test_quotient_equals_dot_product_construction(self, bq):
+        # Section IV-E: gluing points to their dual lines in B(q) yields
+        # the very same graph as the dot-product ER_q (same vertex order,
+        # same edge set).
+        er = polarity_quotient(bq)
+        pf = PolarFly(bq.q)
+        assert er.n == pf.num_routers
+        assert np.array_equal(er.edges(), pf.graph.edges())
+
+    def test_quotient_diameter_two(self, bq):
+        assert polarity_quotient(bq).diameter() == 2
+
+    def test_quadrics_lie_on_own_dual(self, bq):
+        # A point is quadric iff it is incident with its own dual line —
+        # exactly the vertices whose gluing creates a (dropped) loop.
+        pf = PolarFly(bq.q)
+        for v in range(bq.n_points):
+            on_own_dual = bq.graph.has_edge(v, bq.dual(v))
+            assert on_own_dual == pf.is_quadric(v)

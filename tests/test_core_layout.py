@@ -1,0 +1,150 @@
+"""Unit tests for Algorithm 1 layout — paper Section V."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterLayout, PolarFly
+
+
+class TestClusterAssignment:
+    def test_every_vertex_assigned_once(self, pf7, layout7):
+        # Proposition V.1.
+        assert np.all(layout7.cluster_of >= 0)
+        assert layout7.num_clusters == 8
+
+    def test_c0_is_quadrics(self, pf7, layout7):
+        assert np.array_equal(layout7.cluster(0), pf7.quadrics)
+
+    @pytest.mark.parametrize("q", (5, 7, 9, 11))
+    def test_cluster_sizes(self, q):
+        pf = PolarFly(q)
+        lay = ClusterLayout(pf)
+        assert len(lay.cluster(0)) == q + 1
+        for i in range(1, q + 1):
+            assert len(lay.cluster(i)) == q
+
+    def test_even_q_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterLayout(PolarFly(4))
+
+    def test_non_quadric_starter_rejected(self, pf7):
+        with pytest.raises(ValueError):
+            ClusterLayout(pf7, starter=int(pf7.v1[0]))
+
+    def test_any_starter_quadric_works(self, pf7):
+        for w in pf7.quadrics:
+            lay = ClusterLayout(pf7, starter=int(w))
+            assert np.all(lay.cluster_of >= 0)
+
+    def test_centers_adjacent_to_starter(self, pf7, layout7):
+        for i in range(1, 8):
+            assert pf7.graph.has_edge(layout7.starter, layout7.center(i))
+
+    def test_center_of_c0_raises(self, layout7):
+        with pytest.raises(ValueError):
+            layout7.center(0)
+
+
+class TestIntraClusterStructure:
+    def test_c0_has_no_internal_edges(self, layout7):
+        # Property 1.1 via the layout API.
+        assert layout7.intra_cluster_edges(0) == []
+
+    @pytest.mark.parametrize("q", (5, 7, 9))
+    def test_fan_of_triangles(self, q):
+        # Proposition V.2: (q-1)/2 edge-disjoint triangles sharing the center.
+        pf = PolarFly(q)
+        lay = ClusterLayout(pf)
+        for i in range(1, q + 1):
+            tris = lay.fan_triangles(i)
+            assert len(tris) == (q - 1) // 2
+            center = lay.center(i)
+            for tri in tris:
+                assert center in tri
+            # Edge-disjoint: each non-center vertex appears exactly once.
+            others = [v for tri in tris for v in tri if v != center]
+            assert len(others) == len(set(others)) == q - 1
+
+    def test_fan_covers_cluster_edges(self, layout7):
+        # Cluster internal edges are exactly the fan triangles' edges.
+        for i in range(1, 8):
+            tri_edges = set()
+            for a, b, c in layout7.fan_triangles(i):
+                tri_edges |= {
+                    tuple(sorted((a, b))),
+                    tuple(sorted((b, c))),
+                    tuple(sorted((a, c))),
+                }
+            assert set(layout7.intra_cluster_edges(i)) == tri_edges
+
+    def test_fan_triangles_c0_empty(self, layout7):
+        assert layout7.fan_triangles(0) == []
+
+
+class TestInterClusterStructure:
+    @pytest.mark.parametrize("q", (5, 7, 9, 11))
+    def test_link_census(self, q):
+        # Propositions V.3.2 / V.4.2.
+        pf = PolarFly(q)
+        lay = ClusterLayout(pf)
+        census = lay.link_census()
+        assert np.all(census.diagonal() == 0)
+        assert np.all(census[0, 1:] == q + 1)
+        off = census[1:, 1:][~np.eye(q, dtype=bool)]
+        assert np.all(off == q - 2)
+
+    def test_quadric_one_link_per_cluster(self, pf7, layout7):
+        # Proposition V.3.3.
+        for w in pf7.quadrics:
+            nbr_clusters = layout7.cluster_of[pf7.graph.neighbors(int(w))]
+            counts = np.bincount(nbr_clusters, minlength=8)
+            assert np.all(counts[1:] == 1)
+
+    def test_inter_cluster_edges_independent(self, pf7, layout7):
+        # Proposition V.4.2: the q-2 edges between two clusters share no
+        # endpoints (they form a matching).
+        edges = layout7.inter_cluster_edges(1, 2)
+        assert len(edges) == 5  # q - 2
+        endpoints = [v for e in edges for v in e]
+        assert len(endpoints) == len(set(endpoints))
+
+    def test_unconnected_vertex(self, pf7, layout7):
+        # Proposition V.4.3.
+        for i, j in ((1, 2), (2, 5), (3, 7)):
+            u = layout7.unconnected_vertex(i, j)
+            assert layout7.cluster_of[u] == i
+            assert u != layout7.center(i)
+            members_j = set(layout7.cluster(j).tolist())
+            assert not any(
+                int(v) in members_j for v in pf7.graph.neighbors(u)
+            )
+
+    def test_unconnected_vertex_invalid_args(self, layout7):
+        with pytest.raises(ValueError):
+            layout7.unconnected_vertex(0, 1)
+        with pytest.raises(ValueError):
+            layout7.unconnected_vertex(2, 2)
+
+    def test_inter_cluster_edges_same_cluster_raises(self, layout7):
+        with pytest.raises(ValueError):
+            layout7.inter_cluster_edges(1, 1)
+
+
+class TestFanPairing:
+    """Section V-C.2: triangle vertex types depend on q mod 4."""
+
+    def test_q1mod4_pairs_within_layers(self):
+        pf = PolarFly(5)  # 5 = 1 mod 4
+        lay = ClusterLayout(pf)
+        for i in range(1, 6):
+            for tri in lay.fan_triangles(i):
+                wings = [v for v in tri if v != lay.center(i)]
+                kinds = {pf.vertex_class(v) for v in wings}
+                assert len(kinds) == 1  # V1 with V1, or V2 with V2
+
+    def test_q3mod4_pairs_across_layers(self, pf7, layout7):
+        for i in range(1, 8):  # 7 = 3 mod 4
+            for tri in layout7.fan_triangles(i):
+                wings = [v for v in tri if v != layout7.center(i)]
+                kinds = {pf7.vertex_class(v) for v in wings}
+                assert kinds == {"V1", "V2"}

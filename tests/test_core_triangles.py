@@ -1,0 +1,128 @@
+"""Unit tests for triangle structure — paper Section V-C (Tables II, III)."""
+
+from math import comb
+
+import pytest
+
+from repro.core import ClusterLayout, PolarFly
+from repro.core.triangles import (
+    block_design_matrix,
+    classify_triangles,
+    expected_inter_cluster_distribution,
+    expected_inter_cluster_triangles,
+    expected_intermediate_type,
+    expected_intra_cluster_triangles,
+    expected_triangle_count,
+    intermediate_type_census,
+    triangle_type_distribution,
+)
+
+
+class TestCounts:
+    @pytest.mark.parametrize("q", (5, 7, 9, 11))
+    def test_total_triangles(self, q):
+        pf = PolarFly(q)
+        assert len(pf.graph.triangles()) == expected_triangle_count(q)
+
+    @pytest.mark.parametrize("q", (5, 7, 9))
+    def test_intra_inter_split(self, q):
+        # Proposition V.6.
+        pf = PolarFly(q)
+        split = classify_triangles(pf)
+        assert len(split["intra"]) == expected_intra_cluster_triangles(q) == comb(q, 2)
+        assert len(split["inter"]) == expected_inter_cluster_triangles(q) == comb(q, 3)
+
+    def test_counts_sum(self):
+        for q in (5, 7, 9, 11, 13):
+            assert (
+                expected_intra_cluster_triangles(q)
+                + expected_inter_cluster_triangles(q)
+                == expected_triangle_count(q)
+            )
+
+
+class TestBlockDesign:
+    @pytest.mark.parametrize("q", (5, 7, 9))
+    def test_every_triplet_exactly_one_triangle(self, q):
+        # Theorem V.7.
+        pf = PolarFly(q)
+        counts = block_design_matrix(pf)
+        assert len(counts) == comb(q, 3)
+        assert set(counts.values()) == {1}
+
+    def test_independent_of_layout_starter(self, pf7):
+        for w in pf7.quadrics[:3]:
+            lay = ClusterLayout(pf7, starter=int(w))
+            counts = block_design_matrix(pf7, lay)
+            assert set(counts.values()) == {1}
+
+    def test_no_triangle_touches_quadric_cluster(self, pf7, layout7):
+        # Edges at quadrics are triangle-free (Property 1.5), so no
+        # triangle involves cluster 0.
+        for clusters in block_design_matrix(pf7, layout7):
+            assert 0 not in clusters
+
+
+class TestTableII:
+    @pytest.mark.parametrize("q", (5, 9, 13))
+    def test_distribution_q1mod4(self, q):
+        pf = PolarFly(q)
+        observed = triangle_type_distribution(pf)["inter"]
+        expected = expected_inter_cluster_distribution(q)
+        for sig, count in expected.items():
+            assert observed.get(sig, 0) == count, (q, sig)
+
+    @pytest.mark.parametrize("q", (7, 11))
+    def test_distribution_q3mod4(self, q):
+        pf = PolarFly(q)
+        observed = triangle_type_distribution(pf)["inter"]
+        expected = expected_inter_cluster_distribution(q)
+        for sig, count in expected.items():
+            assert observed.get(sig, 0) == count, (q, sig)
+
+    def test_distribution_sums_to_inter_count(self):
+        for q in (5, 7, 9, 11, 13):
+            assert sum(expected_inter_cluster_distribution(q).values()) == comb(q, 3)
+
+    def test_even_q_rejected(self):
+        with pytest.raises(ValueError):
+            expected_inter_cluster_distribution(4)
+
+    def test_intra_triangle_types(self, pf7):
+        # q=3 mod 4: intra fans pair V1 with V2 (plus the center).
+        observed = triangle_type_distribution(pf7)["intra"]
+        # center is V1; wings one V1, one V2 -> signature v1v1v2
+        assert set(observed) == {"v1v1v2"}
+
+
+class TestTableIII:
+    @pytest.mark.parametrize("q", (5, 9))
+    def test_intermediate_types_q1mod4(self, q):
+        pf = PolarFly(q)
+        census = intermediate_type_census(pf)
+        for (a, b), counter in census.items():
+            assert set(counter) == {expected_intermediate_type(q, a, b)}
+
+    @pytest.mark.parametrize("q", (7, 11))
+    def test_intermediate_types_q3mod4(self, q):
+        pf = PolarFly(q)
+        census = intermediate_type_census(pf)
+        for (a, b), counter in census.items():
+            assert set(counter) == {expected_intermediate_type(q, a, b)}
+
+    def test_expected_type_table_values(self):
+        # The printed Table III.
+        assert expected_intermediate_type(5, "V1", "V1") == "V1"
+        assert expected_intermediate_type(5, "V1", "V2") == "V2"
+        assert expected_intermediate_type(5, "V2", "V2") == "V1"
+        assert expected_intermediate_type(7, "V1", "V1") == "V2"
+        assert expected_intermediate_type(7, "V1", "V2") == "V1"
+        assert expected_intermediate_type(7, "V2", "V2") == "V2"
+
+    def test_quadric_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            expected_intermediate_type(7, "W", "V1")
+
+    def test_even_q_rejected(self):
+        with pytest.raises(ValueError):
+            expected_intermediate_type(4, "V1", "V1")

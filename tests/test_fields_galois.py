@@ -1,0 +1,161 @@
+"""Unit tests for table-driven GF(q)."""
+
+import numpy as np
+import pytest
+
+from repro.fields import GF, FiniteField
+
+FIELDS = (2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27, 31, 32, 49)
+
+
+class TestConstruction:
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            FiniteField(6)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            FiniteField(8192)
+
+    def test_cached_instances(self):
+        assert GF(7) is GF(7)
+
+    def test_characteristic_and_degree(self):
+        F = GF(27)
+        assert (F.p, F.m, F.q) == (3, 3, 27)
+
+    def test_prime_field_is_mod_arithmetic(self):
+        F = GF(7)
+        a = np.arange(7)
+        assert np.array_equal(F.add(a, 3), (a + 3) % 7)
+        assert np.array_equal(F.mul(a, 4), (a * 4) % 7)
+
+    def test_encoding_roundtrip(self):
+        F = GF(27)
+        for e in range(27):
+            assert F.poly_to_element(F.element_to_poly(e)) == e
+
+
+class TestAxioms:
+    @pytest.mark.parametrize("q", FIELDS)
+    def test_additive_identity_and_inverse(self, q):
+        F = GF(q)
+        a = F.elements()
+        assert np.array_equal(F.add(a, 0), a)
+        assert np.all(F.add(a, F.neg(a)) == 0)
+
+    @pytest.mark.parametrize("q", FIELDS)
+    def test_multiplicative_identity_and_inverse(self, q):
+        F = GF(q)
+        a = F.elements()
+        assert np.array_equal(F.mul(a, 1), a)
+        nz = a[1:]
+        assert np.all(F.mul(nz, F.inv(nz)) == 1)
+
+    @pytest.mark.parametrize("q", (4, 7, 9, 16, 27))
+    def test_commutativity_associativity_distributivity(self, q):
+        F = GF(q)
+        rng = np.random.default_rng(q)
+        x, y, z = rng.integers(0, q, (3, 64))
+        assert np.array_equal(F.add(x, y), F.add(y, x))
+        assert np.array_equal(F.mul(x, y), F.mul(y, x))
+        assert np.array_equal(F.add(F.add(x, y), z), F.add(x, F.add(y, z)))
+        assert np.array_equal(F.mul(F.mul(x, y), z), F.mul(x, F.mul(y, z)))
+        assert np.array_equal(
+            F.mul(x, F.add(y, z)), F.add(F.mul(x, y), F.mul(x, z))
+        )
+
+    def test_inv_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF(7).inv(0)
+
+    def test_div(self):
+        F = GF(9)
+        a = np.arange(1, 9)
+        assert np.all(F.mul(F.div(a, a), a) == a)
+
+
+class TestPrimitiveElement:
+    @pytest.mark.parametrize("q", FIELDS)
+    def test_generates_multiplicative_group(self, q):
+        F = GF(q)
+        g = F.primitive_element
+        seen = set()
+        e = 1
+        for _ in range(q - 1):
+            seen.add(int(e))
+            e = int(F.mul(e, g))
+        assert len(seen) == q - 1
+
+    def test_pow(self):
+        F = GF(13)
+        g = F.primitive_element
+        assert int(F.pow(np.array(g), 12)) == 1
+        assert int(F.pow(np.array(g), 0)) == 1
+
+    def test_squares(self):
+        F = GF(13)
+        sq = set(F.squares().tolist())
+        assert sq == {int(F.mul(a, a)) for a in range(1, 13)}
+        assert len(sq) == 6  # (q-1)/2 for odd q
+
+    def test_is_square_char2_all(self):
+        F = GF(8)
+        assert all(F.is_square(a) for a in range(8))
+
+    def test_is_square_odd(self):
+        F = GF(11)
+        squares = set(F.squares().tolist())
+        for a in range(1, 11):
+            assert F.is_square(a) == (a in squares)
+
+
+class TestVectorOps:
+    @pytest.mark.parametrize("q", (3, 7, 9, 16))
+    def test_cross_product_orthogonality(self, q):
+        F = GF(q)
+        rng = np.random.default_rng(0)
+        u = rng.integers(0, q, (40, 3))
+        v = rng.integers(0, q, (40, 3))
+        c = F.cross(u, v)
+        assert np.all(F.dot(u, c) == 0)
+        assert np.all(F.dot(v, c) == 0)
+
+    def test_dot_matches_manual(self):
+        F = GF(5)
+        u = np.array([1, 2, 3])
+        v = np.array([4, 0, 2])
+        assert int(F.dot(u, v)) == (1 * 4 + 2 * 0 + 3 * 2) % 5
+
+    @pytest.mark.parametrize("q", (3, 5, 9))
+    def test_left_normalize(self, q):
+        F = GF(q)
+        rng = np.random.default_rng(1)
+        vecs = rng.integers(0, q, (100, 3))
+        vecs = vecs[np.any(vecs != 0, axis=1)]
+        norm = F.left_normalize(vecs)
+        lead = np.where(
+            norm[:, 0] != 0, norm[:, 0], np.where(norm[:, 1] != 0, norm[:, 1], norm[:, 2])
+        )
+        assert np.all(lead == 1)
+
+    def test_left_normalize_idempotent(self):
+        F = GF(7)
+        v = np.array([[0, 3, 5]])
+        once = F.left_normalize(v)
+        twice = F.left_normalize(once)
+        assert np.array_equal(once, twice)
+
+    def test_left_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            GF(5).left_normalize(np.array([0, 0, 0]))
+
+    def test_normalize_equivalence_classes(self):
+        # All nonzero multiples of a vector normalize identically.
+        F = GF(7)
+        v = np.array([0, 2, 3])
+        reps = {
+            tuple(F.left_normalize(F.mul(np.full(3, s), v))[0].tolist())
+            for s in range(1, 7)
+        }
+        assert len(reps) == 1

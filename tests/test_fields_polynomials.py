@@ -1,0 +1,124 @@
+"""Unit tests for polynomial arithmetic over F_p."""
+
+import pytest
+
+from repro.fields.polynomials import (
+    ONE,
+    X,
+    ZERO,
+    find_irreducible,
+    is_irreducible,
+    poly_add,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_pow_mod,
+    poly_sub,
+    poly_trim,
+)
+
+
+class TestTrim:
+    def test_removes_trailing_zeros(self):
+        assert poly_trim([1, 2, 0, 0]) == (1, 2)
+
+    def test_zero(self):
+        assert poly_trim([0, 0]) == ()
+
+    def test_keeps_leading_zero_coeff(self):
+        assert poly_trim([0, 1]) == (0, 1)
+
+
+class TestArithmetic:
+    def test_add_mod_p(self):
+        assert poly_add((1, 2), (2, 1), 3) == ()  # (1+2, 2+1) = 0 mod 3
+
+    def test_sub(self):
+        assert poly_sub((1, 1), (1,), 5) == (0, 1)
+
+    def test_mul_basic(self):
+        # (1 + x)(1 + x) = 1 + 2x + x^2 over F_5
+        assert poly_mul((1, 1), (1, 1), 5) == (1, 2, 1)
+
+    def test_mul_char2(self):
+        # (1 + x)^2 = 1 + x^2 over F_2 (freshman's dream)
+        assert poly_mul((1, 1), (1, 1), 2) == (1, 0, 1)
+
+    def test_mul_zero(self):
+        assert poly_mul((1, 2), ZERO, 5) == ZERO
+
+    def test_divmod_identity(self):
+        a, b, p = (3, 1, 4, 1), (2, 1), 5
+        q, r = poly_divmod(a, b, p)
+        assert poly_add(poly_mul(q, b, p), r, p) == a
+
+    def test_divmod_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod((1,), ZERO, 5)
+
+    def test_mod_smaller_degree(self):
+        assert poly_mod((1, 1), (0, 0, 1), 3) == (1, 1)
+
+
+class TestGcd:
+    def test_coprime(self):
+        assert poly_gcd((1, 1), (2, 1), 5) == ONE
+
+    def test_common_factor(self):
+        p = 7
+        f = poly_mul((1, 1), (3, 1), p)
+        g = poly_mul((1, 1), (5, 1), p)
+        assert poly_gcd(f, g, p) == (1, 1)
+
+    def test_gcd_is_monic(self):
+        p = 5
+        f = poly_mul((2,), poly_mul((1, 1), (1, 1), p), p)
+        g = poly_mul((3,), (1, 1), p)
+        assert poly_gcd(f, g, p)[-1] == 1
+
+
+class TestPowMod:
+    def test_fermat(self):
+        # x^p = x mod (irreducible of degree 1) trivially; test via field:
+        # x^(p^m) == x mod f for irreducible f of degree m.
+        for p, m in ((2, 3), (3, 2), (5, 2)):
+            f = find_irreducible(p, m)
+            assert poly_pow_mod(X, p**m, f, p) == poly_mod(X, f, p)
+
+    def test_zero_exponent(self):
+        assert poly_pow_mod((1, 1), 0, (1, 0, 1), 3) == ONE
+
+
+class TestIrreducibility:
+    def test_known_irreducible(self):
+        # x^2 + 1 irreducible over F_3 (no roots: 0->1, 1->2, 2->2)
+        assert is_irreducible((1, 0, 1), 3)
+
+    def test_known_reducible(self):
+        # x^2 - 1 = (x-1)(x+1)
+        assert not is_irreducible((4, 0, 1), 5)
+
+    def test_degree_one_always(self):
+        assert is_irreducible((2, 1), 5)
+
+    def test_requires_monic(self):
+        with pytest.raises(ValueError):
+            is_irreducible((1, 2), 5)
+
+    def test_find_irreducible_valid(self):
+        for p, m in ((2, 2), (2, 3), (2, 7), (3, 2), (3, 3), (5, 2), (5, 3), (7, 2)):
+            f = find_irreducible(p, m)
+            assert len(f) == m + 1
+            assert f[-1] == 1
+            assert is_irreducible(f, p)
+
+    def test_find_irreducible_deterministic(self):
+        assert find_irreducible(3, 2) == find_irreducible(3, 2)
+
+    def test_irreducible_has_no_roots(self):
+        for p, m in ((3, 2), (5, 2), (2, 3)):
+            f = find_irreducible(p, m)
+            for x in range(p):
+                val = sum(c * x**i for i, c in enumerate(f)) % p
+                assert val != 0

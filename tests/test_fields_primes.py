@@ -1,0 +1,98 @@
+"""Unit tests for prime / prime-power machinery."""
+
+import pytest
+
+from repro.fields.primes import (
+    factorize,
+    is_prime,
+    is_prime_power,
+    prime_factors,
+    prime_powers_up_to,
+    primes_up_to,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 127):
+            assert is_prime(p), p
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 8, 9, 10, 15, 21, 25, 49, 121, 128):
+            assert not is_prime(n), n
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_carmichael_numbers(self):
+        # Fermat pseudoprimes that fool naive tests.
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(n), n
+
+    def test_large_prime(self):
+        assert is_prime(2**31 - 1)  # Mersenne prime
+        assert not is_prime(2**32 - 1)
+
+    def test_agrees_with_sieve(self):
+        sieve = set(primes_up_to(2000))
+        for n in range(2000):
+            assert is_prime(n) == (n in sieve), n
+
+
+class TestFactorize:
+    def test_basic(self):
+        assert factorize(12) == {2: 2, 3: 1}
+        assert factorize(1) == {}
+        assert factorize(97) == {97: 1}
+        assert factorize(1024) == {2: 10}
+
+    def test_reconstruction(self):
+        for n in range(2, 500):
+            prod = 1
+            for p, e in factorize(n).items():
+                assert is_prime(p)
+                prod *= p**e
+            assert prod == n
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+
+    def test_prime_factors_sorted(self):
+        assert prime_factors(60) == [2, 3, 5]
+
+
+class TestIsPrimePower:
+    def test_primes(self):
+        assert is_prime_power(7) == (7, 1)
+        assert is_prime_power(31) == (31, 1)
+
+    def test_powers(self):
+        assert is_prime_power(8) == (2, 3)
+        assert is_prime_power(9) == (3, 2)
+        assert is_prime_power(125) == (5, 3)
+        assert is_prime_power(128) == (2, 7)
+
+    def test_non_powers(self):
+        for n in (0, 1, 6, 10, 12, 15, 36, 100):
+            assert is_prime_power(n) is None, n
+
+    def test_paper_radix_examples(self):
+        # Section IV: q = 31, 47, 61, 127 give radixes 32, 48, 62, 128.
+        for q in (31, 47, 61, 127):
+            assert is_prime_power(q) is not None
+
+
+class TestEnumerations:
+    def test_primes_up_to(self):
+        assert primes_up_to(10) == [2, 3, 5, 7]
+        assert primes_up_to(1) == []
+        assert primes_up_to(2) == [2]
+
+    def test_prime_powers_up_to(self):
+        assert prime_powers_up_to(10) == [2, 3, 4, 5, 7, 8, 9]
+        assert prime_powers_up_to(1) == []
+
+    def test_prime_powers_all_valid(self):
+        for q in prime_powers_up_to(200):
+            assert is_prime_power(q) is not None

@@ -1,0 +1,218 @@
+"""Unit tests for traffic extras, telemetry, latency model, UGAL-G and
+degraded routing."""
+
+import numpy as np
+import pytest
+
+from repro.core import PolarFly
+from repro.flitsim import (
+    BitComplementTraffic,
+    HotspotTraffic,
+    LatencyModel,
+    NetworkSimulator,
+    ShiftTraffic,
+    SimConfig,
+    TornadoTraffic,
+    UniformTraffic,
+    run_with_telemetry,
+)
+from repro.routing import (
+    MinimalRouting,
+    RoutingTables,
+    UGALGRouting,
+    UGALRouting,
+    degraded_topology,
+    reroute_after_failures,
+)
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def pf():
+    return PolarFly(5, concentration=2)
+
+
+@pytest.fixture(scope="module")
+def tables(pf):
+    return RoutingTables(pf)
+
+
+class TestExtraPatterns:
+    def test_bit_complement_is_permutation(self, pf):
+        tr = BitComplementTraffic(pf)
+        images = {tr.dest_router(i, None) for i in range(pf.num_routers)}
+        assert len(images) == pf.num_routers
+        for i in range(pf.num_routers):
+            assert tr.dest_router(i, None) != i
+
+    def test_bit_complement_reflects(self, pf):
+        tr = BitComplementTraffic(pf)
+        n = pf.num_routers
+        # Away from the odd-count fixup, i maps to n-1-i.
+        assert tr.dest_router(0, None) == n - 1
+        assert tr.dest_router(1, None) == n - 2
+
+    def test_shift(self, pf):
+        tr = ShiftTraffic(pf, offset=3)
+        n = pf.num_routers
+        for i in (0, 7, 29):
+            assert tr.dest_router(i, None) == (i + 3) % n
+
+    def test_shift_zero_offset_rejected(self, pf):
+        with pytest.raises(ValueError):
+            ShiftTraffic(pf, offset=0)
+
+    def test_hotspot_bias(self, pf):
+        tr = HotspotTraffic(pf, fraction=0.5, hotspot=3)
+        rng = make_rng(0)
+        hits = sum(tr.dest_router(10, rng) == 3 for _ in range(1000))
+        assert 380 < hits < 620  # ~50% plus uniform residue
+
+    def test_hotspot_never_self(self, pf):
+        tr = HotspotTraffic(pf, fraction=0.9, hotspot=3)
+        rng = make_rng(1)
+        for _ in range(100):
+            assert tr.dest_router(3, rng) != 3
+
+    def test_hotspot_validation(self, pf):
+        with pytest.raises(ValueError):
+            HotspotTraffic(pf, fraction=0.0)
+
+    def test_patterns_drive_simulation(self, pf, tables):
+        policy = MinimalRouting(tables)
+        for tr in (BitComplementTraffic(pf), ShiftTraffic(pf, 2),
+                   HotspotTraffic(pf, 0.3)):
+            sim = NetworkSimulator(pf, policy, tr, 0.15, seed=2)
+            res = sim.run(warmup=150, measure=300, drain=150)
+            assert res.ejected_flits > 0
+
+
+class TestTelemetry:
+    def test_counts_match_hops(self, pf, tables):
+        # Total link flits = sum over packets of (hops * size), so
+        # telemetry / result must be consistent.
+        sim = NetworkSimulator(
+            pf, MinimalRouting(tables), UniformTraffic(pf), 0.2, seed=3
+        )
+        res, tel = run_with_telemetry(sim, warmup=100, measure=400)
+        total = sum(tel.link_flits.values())
+        assert total > 0
+        # Rough consistency: flits carried ~ ejected flits * avg hops.
+        assert total == pytest.approx(res.ejected_flits * res.avg_hops, rel=0.25)
+
+    def test_tornado_hotlink_and_gini(self, pf, tables):
+        # Under tornado + MIN every router loads a single path: link
+        # loads are maximally unequal vs uniform traffic.
+        policy = MinimalRouting(tables)
+        sims = {
+            "uniform": NetworkSimulator(pf, policy, UniformTraffic(pf), 0.3, seed=4),
+            "tornado": NetworkSimulator(pf, policy, TornadoTraffic(pf), 0.3, seed=4),
+        }
+        gini = {}
+        for name, sim in sims.items():
+            _, tel = run_with_telemetry(sim, warmup=100, measure=400)
+            gini[name] = tel.gini()
+        assert gini["tornado"] > gini["uniform"]
+
+    def test_max_utilization_bounded(self, pf, tables):
+        sim = NetworkSimulator(
+            pf, MinimalRouting(tables), TornadoTraffic(pf), 0.9, seed=5
+        )
+        _, tel = run_with_telemetry(sim, warmup=200, measure=400)
+        link, util = tel.max_utilization()
+        assert 0.5 < util <= 1.0  # the bottleneck link saturates
+        assert pf.graph.has_edge(*link)
+
+    def test_histogram(self, pf, tables):
+        sim = NetworkSimulator(
+            pf, MinimalRouting(tables), UniformTraffic(pf), 0.2, seed=6
+        )
+        _, tel = run_with_telemetry(sim, warmup=100, measure=200)
+        counts, edges = tel.utilization_histogram(bins=5)
+        assert counts.sum() == len(tel.link_flits)
+
+
+class TestLatencyModel:
+    def test_zero_load_matches_simulator(self, pf, tables):
+        aspl = float(np.mean(tables.dist[tables.dist > 0]))
+        model = LatencyModel(pf, avg_hops=aspl)
+        sim = NetworkSimulator(
+            pf, MinimalRouting(tables), UniformTraffic(pf), 0.05, seed=7
+        )
+        res = sim.run(warmup=200, measure=400, drain=200)
+        assert model.zero_load_latency() == pytest.approx(res.avg_latency, rel=0.4)
+
+    def test_latency_monotone(self, pf, tables):
+        model = LatencyModel(pf, avg_hops=1.8)
+        lats = [model.latency(l) for l in (0.1, 0.4, 0.7)]
+        assert lats[0] < lats[1] < lats[2]
+
+    def test_infinite_past_saturation(self, pf):
+        model = LatencyModel(pf, avg_hops=1.8)
+        assert model.latency(1.0) == float("inf") or model.saturation_load >= 1.0
+
+    def test_saturation_brackets_simulator(self, pf, tables):
+        # PF(5) p=2 k=6 avg_hops~1.8: model saturation ~ k/(p*h).
+        aspl = float(np.mean(tables.dist[tables.dist > 0]))
+        model = LatencyModel(pf, avg_hops=aspl)
+        assert 0.8 <= model.saturation_load <= 1.0
+
+
+class TestUGALG:
+    def test_idle_stays_minimal(self, pf, tables):
+        policy = UGALGRouting(tables)
+        rng = make_rng(0)
+        for _ in range(20):
+            s, d = map(int, rng.integers(0, pf.num_routers, 2))
+            if s == d:
+                continue
+            path = policy.select_route(s, d, rng)
+            assert len(path) - 1 == tables.distance(s, d)
+
+    def test_at_least_as_good_as_local_on_tornado(self, pf, tables):
+        tor = TornadoTraffic(pf)
+        results = {}
+        for name, policy in (
+            ("local", UGALRouting(tables)),
+            ("global", UGALGRouting(tables)),
+        ):
+            cfg = SimConfig(num_vcs=max(4, policy.max_hops - 1), vc_depth=8)
+            sim = NetworkSimulator(pf, policy, tor, 0.7, config=cfg, seed=8)
+            results[name] = sim.run(warmup=250, measure=500, drain=200)
+        # Global information shouldn't hurt throughput materially.
+        assert results["global"].accepted_load >= results["local"].accepted_load - 0.08
+
+
+class TestDegradedRouting:
+    def test_degraded_topology_preserves_ids(self, pf):
+        e = pf.graph.edges()[0]
+        deg = degraded_topology(pf, [tuple(map(int, e))])
+        assert deg.num_routers == pf.num_routers
+        assert deg.num_links == pf.num_links - 1
+        assert not deg.graph.has_edge(int(e[0]), int(e[1]))
+
+    def test_reroute_avoids_failed_link(self, pf):
+        e = tuple(map(int, pf.graph.edges()[0]))
+        tables = reroute_after_failures(pf, [e])
+        path = tables.shortest_path(e[0], e[1])
+        # Paper: one failed link -> alternative within <= 4 hops.
+        assert 2 <= len(path) - 1 <= 4
+        assert all((a, b) != e and (b, a) != e for a, b in zip(path, path[1:]))
+
+    def test_simulation_on_degraded_network(self, pf):
+        rng = make_rng(9)
+        edges = pf.graph.edges()
+        doomed = [tuple(map(int, edges[i])) for i in rng.choice(len(edges), 5, replace=False)]
+        deg = degraded_topology(pf, doomed)
+        tables = RoutingTables(deg)
+        policy = MinimalRouting(tables)
+        cfg = SimConfig(num_vcs=max(4, policy.max_hops - 1))
+        sim = NetworkSimulator(deg, policy, UniformTraffic(deg), 0.2, config=cfg, seed=9)
+        res = sim.run(warmup=200, measure=400, drain=200)
+        assert res.accepted_load == pytest.approx(0.2, abs=0.05)
+
+    def test_disconnecting_failures_rejected(self, pf):
+        # Cut all links of router 0.
+        doomed = [(0, int(v)) for v in pf.graph.neighbors(0)]
+        with pytest.raises(ValueError):
+            degraded_topology(pf, doomed)

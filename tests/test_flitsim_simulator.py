@@ -1,0 +1,184 @@
+"""Unit and behavioural tests for the cycle-accurate flit simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import PolarFly
+from repro.flitsim import (
+    NetworkSimulator,
+    SimConfig,
+    TornadoTraffic,
+    UniformTraffic,
+)
+from repro.flitsim.packet import Packet
+from repro.routing import MinimalRouting, RoutingTables, UGALPFRouting, ValiantRouting
+
+
+@pytest.fixture(scope="module")
+def pf():
+    return PolarFly(5, concentration=2)
+
+
+@pytest.fixture(scope="module")
+def tables(pf):
+    return RoutingTables(pf)
+
+
+@pytest.fixture(scope="module")
+def minimal(tables):
+    return MinimalRouting(tables)
+
+
+def quick(sim, warmup=300, measure=600, drain=200):
+    return sim.run(warmup=warmup, measure=measure, drain=drain)
+
+
+class TestPacket:
+    def test_fields(self):
+        p = Packet(3, (0, 5, 9), 4, 100)
+        assert p.src == 0 and p.dst == 9 and p.hops == 2
+        assert p.latency == -1
+        p.t_ejected = 130
+        assert p.latency == 30
+
+
+class TestValidation:
+    def test_requires_endpoints(self, tables, minimal):
+        bare = PolarFly(5)
+        tr = UniformTraffic(bare)
+        with pytest.raises(ValueError):
+            NetworkSimulator(bare, minimal, tr, 0.5)
+
+    def test_rejects_bad_load(self, pf, minimal):
+        tr = UniformTraffic(pf)
+        with pytest.raises(ValueError):
+            NetworkSimulator(pf, minimal, tr, 1.5)
+
+    def test_rejects_insufficient_vcs(self, pf, tables):
+        tr = UniformTraffic(pf)
+        valiant = ValiantRouting(tables)  # 4-hop worst case
+        with pytest.raises(ValueError):
+            NetworkSimulator(pf, valiant, tr, 0.5, config=SimConfig(num_vcs=2))
+
+
+class TestConservation:
+    def test_zero_load_is_silent(self, pf, minimal):
+        sim = NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.0, seed=0)
+        res = quick(sim)
+        assert res.ejected_flits == 0
+        assert np.isnan(res.avg_latency)
+
+    def test_flits_conserved(self, pf, minimal):
+        # After a full drain at low load, everything injected must eject.
+        sim = NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.2, seed=1)
+        sim.run(warmup=0, measure=500, drain=800)
+        in_flight = sum(
+            len(q) for r in range(pf.num_routers) for q in sim.voq[r].values()
+        )
+        src_left = sum(
+            len(q) for r in range(pf.num_routers) for q in sim.src_q[r]
+        )
+        assert in_flight == 0 and src_left == 0
+
+    def test_credits_restored_after_drain(self, pf, minimal):
+        cfg = SimConfig()
+        sim = NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.2, config=cfg, seed=1)
+        sim.run(warmup=0, measure=400, drain=800)
+        for r in range(pf.num_routers):
+            for port_credits in sim.credits[r]:
+                assert all(c == cfg.vc_depth for c in port_credits)
+            assert all(c == cfg.vc_depth for c in sim.inj_credit[r])
+
+    def test_accepted_tracks_offered_below_saturation(self, pf, minimal):
+        sim = NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.3, seed=2)
+        res = quick(sim)
+        assert res.accepted_load == pytest.approx(0.3, abs=0.05)
+        assert not res.saturated
+
+
+class TestLatency:
+    def test_zero_load_latency_near_hops(self, pf, minimal):
+        # At very low load latency ~ serialization + per-hop pipeline.
+        sim = NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.02, seed=3)
+        res = quick(sim)
+        assert 4 <= res.avg_latency <= 25
+
+    def test_latency_monotone_in_load(self, pf, minimal):
+        lat = []
+        for load in (0.1, 0.5, 0.9):
+            sim = NetworkSimulator(pf, minimal, UniformTraffic(pf), load, seed=4)
+            lat.append(quick(sim).avg_latency)
+        assert lat[0] < lat[2]
+
+    def test_hops_recorded(self, pf, minimal):
+        sim = NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.2, seed=5)
+        res = quick(sim)
+        assert 1.0 <= res.avg_hops <= 2.0
+
+    def test_p99_at_least_mean(self, pf, minimal):
+        sim = NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.4, seed=6)
+        res = quick(sim)
+        assert res.p99_latency >= res.avg_latency
+
+
+class TestPaperBehaviours:
+    def test_min_permutation_capped_at_1_over_p(self, pf, minimal):
+        # Section VIII-B: min-path permutation throughput <= 1/p.
+        sim = NetworkSimulator(pf, minimal, TornadoTraffic(pf), 0.9, seed=7)
+        res = quick(sim)
+        p = 2
+        assert res.accepted_load <= 1 / p + 0.05
+
+    def test_adaptive_beats_minimal_on_tornado(self, pf, tables, minimal):
+        tor = TornadoTraffic(pf)
+        res_min = quick(NetworkSimulator(pf, minimal, tor, 0.6, seed=8))
+        ugal = UGALPFRouting(tables)
+        res_ugal = quick(NetworkSimulator(pf, ugal, tor, 0.6, seed=8))
+        assert res_ugal.accepted_load > res_min.accepted_load * 1.3
+
+    def test_ugalpf_near_minimal_on_uniform(self, pf, tables, minimal):
+        # Figure 8b: UGAL_PF tracks min-path behaviour under uniform load.
+        uni = UniformTraffic(pf)
+        res_min = quick(NetworkSimulator(pf, minimal, uni, 0.4, seed=9))
+        ugal = UGALPFRouting(tables)
+        res_ugal = quick(NetworkSimulator(pf, ugal, uni, 0.4, seed=9))
+        assert res_ugal.avg_latency < res_min.avg_latency * 1.5
+        assert res_ugal.accepted_load == pytest.approx(
+            res_min.accepted_load, rel=0.15
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, pf, minimal):
+        r1 = quick(NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.3, seed=42))
+        r2 = quick(NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.3, seed=42))
+        assert r1.ejected_flits == r2.ejected_flits
+        assert r1.latencies == r2.latencies
+
+    def test_different_seeds_differ(self, pf, minimal):
+        r1 = quick(NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.3, seed=1))
+        r2 = quick(NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.3, seed=2))
+        assert r1.latencies != r2.latencies
+
+
+class TestCongestionView:
+    def test_occupancy_zero_when_idle(self, pf, minimal):
+        sim = NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.0, seed=0)
+        r = 0
+        nbr = int(pf.graph.neighbors(r)[0])
+        assert sim.output_occupancy(r, nbr) == 0
+
+    def test_occupancy_positive_under_load(self, pf, minimal):
+        sim = NetworkSimulator(pf, minimal, TornadoTraffic(pf), 0.9, seed=1)
+        for _ in range(400):
+            sim.step()
+        occs = [
+            sim.output_occupancy(r, int(v))
+            for r in range(pf.num_routers)
+            for v in pf.graph.neighbors(r)
+        ]
+        assert max(occs) > 0
+
+    def test_capacity(self, pf, minimal):
+        sim = NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.1)
+        assert sim.output_capacity() == SimConfig().vc_depth

@@ -1,0 +1,110 @@
+"""Additional structural coverage: wider q ranges and cross-checks that
+tie independent modules together."""
+
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterLayout, PolarFly
+from repro.core.triangles import expected_inter_cluster_distribution
+from repro.fields import GF
+from repro.routing import RoutingTables
+from repro.topologies import SlimFly, moore_bound_diameter2
+
+
+class TestWiderQRange:
+    """Key invariants on every odd prime power up to 19."""
+
+    @pytest.mark.parametrize("q", (3, 5, 7, 9, 11, 13, 17, 19))
+    def test_partition_and_degree(self, q):
+        pf = PolarFly(q)
+        assert pf.num_routers == q * q + q + 1
+        assert pf.quadric_mask.sum() == q + 1
+        assert pf.v1_mask.sum() == q * (q + 1) // 2
+        assert pf.v2_mask.sum() == q * (q - 1) // 2
+        deg = pf.graph.degree()
+        assert np.all(deg[pf.quadrics] == q)
+        assert np.all(deg[~pf.quadric_mask] == q + 1)
+
+    @pytest.mark.parametrize("q", (11, 13, 17, 19))
+    def test_diameter_two_sampled(self, q):
+        pf = PolarFly(q)
+        rng = np.random.default_rng(q)
+        for s in rng.integers(0, pf.num_routers, 6):
+            assert pf.graph.eccentricity(int(s)) == 2
+
+    @pytest.mark.parametrize("q", (13, 17))
+    def test_layout_census(self, q):
+        pf = PolarFly(q)
+        lay = ClusterLayout(pf)
+        census = lay.link_census()
+        assert np.all(census[0, 1:] == q + 1)
+        off = census[1:, 1:][~np.eye(q, dtype=bool)]
+        assert np.all(off == q - 2)
+
+    @pytest.mark.parametrize("q", (13, 17))
+    def test_table2_sums(self, q):
+        dist = expected_inter_cluster_distribution(q)
+        assert sum(dist.values()) == comb(q, 3)
+
+
+class TestCrossModuleConsistency:
+    """Independent implementations must agree with each other."""
+
+    def test_tables_distance_equals_algebraic_adjacency(self):
+        # RoutingTables (BFS) distance-1 pairs == field-orthogonal pairs.
+        pf = PolarFly(7, concentration=1)
+        tables = RoutingTables(pf)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            s, d = map(int, rng.integers(0, pf.num_routers, 2))
+            if s == d:
+                continue
+            assert (tables.distance(s, d) == 1) == pf.are_adjacent(s, d)
+
+    def test_aspl_from_tables_matches_graph(self):
+        pf = PolarFly(7, concentration=1)
+        tables = RoutingTables(pf)
+        dist = tables.dist.astype(np.float64)
+        n = pf.num_routers
+        aspl_tables = dist.sum() / (n * (n - 1))
+        assert aspl_tables == pytest.approx(
+            pf.average_shortest_path_length()
+        )
+
+    def test_average_path_length_formula(self):
+        # ER_q ASPL = (#adjacent pairs * 1 + #non-adjacent pairs * 2) /
+        # #pairs, with edge count q(q+1)^2/2.
+        q = 9
+        pf = PolarFly(q)
+        n = pf.num_routers
+        pairs = n * (n - 1) // 2
+        edges = pf.num_links
+        expected = (edges + 2 * (pairs - edges)) / pairs
+        assert pf.average_shortest_path_length() == pytest.approx(expected)
+
+    def test_slimfly_and_polarfly_scalability_ratio(self):
+        # At moderate radix PF connects more routers relative to the
+        # Moore bound than SF (~1 vs ~8/9 asymptotically).  Checked with
+        # the closed forms at radix ~62 (q=61 PF vs q=41 SF, k=61) —
+        # tiny instances can invert, see Figure 2 tests.
+        eff_pf = (61 * 61 + 61 + 1) / moore_bound_diameter2(62)
+        eff_sf = (2 * 41 * 41) / moore_bound_diameter2(61)
+        assert eff_pf > eff_sf > 0.85
+        # And the small concrete instances still construct correctly.
+        assert PolarFly(13).num_routers == 183
+        assert SlimFly(9).num_routers == 162
+
+    def test_quadric_count_equals_conic_points(self):
+        # |W| = q+1 is the point count of a nondegenerate conic; verify
+        # the self-orthogonality census against direct evaluation.
+        for q in (5, 7, 9, 11):
+            F = GF(q)
+            pf = PolarFly(q)
+            manual = sum(
+                1
+                for v in pf.vectors
+                if int(F.dot(np.asarray(v), np.asarray(v))) == 0
+            )
+            assert manual == q + 1

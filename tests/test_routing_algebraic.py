@@ -1,0 +1,74 @@
+"""Unit tests for table-free algebraic PolarFly routing."""
+
+import numpy as np
+import pytest
+
+from repro.core import PolarFly
+from repro.flitsim import NetworkSimulator, UniformTraffic
+from repro.routing import MinimalRouting, RoutingTables
+from repro.routing.algebraic import AlgebraicMinimalRouting
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def pf():
+    return PolarFly(7, concentration=2)
+
+
+@pytest.fixture(scope="module")
+def algebraic(pf):
+    return AlgebraicMinimalRouting(pf)
+
+
+class TestEquivalenceWithTables:
+    def test_same_routes_everywhere(self, pf, algebraic):
+        # PolarFly minimal paths are unique, so coordinate routing and
+        # BFS-table routing must agree on every pair.
+        tables = MinimalRouting(RoutingTables(pf))
+        rng = make_rng(0)
+        for s in range(pf.num_routers):
+            for d in (3, 20, 41):
+                if s == d:
+                    continue
+                assert algebraic.select_route(s, d, rng) == tables.select_route(
+                    s, d, rng
+                )
+
+    def test_route_validity_all_pairs(self, pf, algebraic):
+        rng = make_rng(1)
+        for _ in range(100):
+            s, d = map(int, rng.integers(0, pf.num_routers, 2))
+            if s == d:
+                continue
+            path = algebraic.select_route(s, d, rng)
+            assert path[0] == s and path[-1] == d and len(path) - 1 <= 2
+            for a, b in zip(path, path[1:]):
+                assert pf.are_adjacent(a, b)
+
+
+class TestNextHop:
+    def test_adjacent_goes_direct(self, pf, algebraic):
+        e = pf.graph.edges()[0]
+        assert algebraic.next_hop(int(e[0]), int(e[1])) == int(e[1])
+
+    def test_two_hop_via_midpoint(self, pf, algebraic):
+        rng = make_rng(2)
+        for _ in range(40):
+            s, d = map(int, rng.integers(0, pf.num_routers, 2))
+            if s == d or pf.are_adjacent(s, d):
+                continue
+            mid = algebraic.next_hop(s, d)
+            assert pf.are_adjacent(s, mid) and pf.are_adjacent(mid, d)
+            assert algebraic.next_hop(mid, d) == d
+
+    def test_at_destination_raises(self, algebraic):
+        with pytest.raises(ValueError):
+            algebraic.next_hop(5, 5)
+
+
+class TestInSimulator:
+    def test_drives_simulation(self, pf, algebraic):
+        sim = NetworkSimulator(pf, algebraic, UniformTraffic(pf), 0.3, seed=3)
+        res = sim.run(warmup=200, measure=400, drain=200)
+        assert res.accepted_load == pytest.approx(0.3, abs=0.05)
+        assert res.avg_hops <= 2.0

@@ -1,0 +1,236 @@
+"""Unit tests for Dragonfly, fat tree, Jellyfish, HyperX and Moore graphs."""
+
+import numpy as np
+import pytest
+
+from repro.topologies import (
+    Dragonfly,
+    FatTree,
+    HoffmanSingletonTopology,
+    HyperX,
+    Jellyfish,
+    PetersenTopology,
+    balanced_dragonfly,
+    hyperx_order,
+    hyperx_radix,
+    moore_bound,
+    moore_bound_diameter2,
+    random_regular_graph,
+)
+
+
+class TestDragonfly:
+    def test_group_count(self):
+        df = Dragonfly(a=4, h=2)
+        assert df.num_groups == 9
+        assert df.num_routers == 36
+
+    def test_radix(self):
+        df = Dragonfly(a=4, h=2, p=2)
+        assert df.network_radix == 5  # a-1+h
+        assert df.total_radix == 7
+
+    def test_diameter_three(self):
+        assert Dragonfly(a=4, h=2).diameter() == 3
+
+    def test_one_global_link_per_group_pair(self):
+        df = Dragonfly(a=3, h=2)
+        g, a = df.num_groups, df.a
+        counts = np.zeros((g, g), dtype=int)
+        for u, v in df.graph.edges():
+            gu, gv = df.router_group(int(u)), df.router_group(int(v))
+            if gu != gv:
+                counts[gu, gv] += 1
+                counts[gv, gu] += 1
+        off = counts[~np.eye(g, dtype=bool)]
+        assert np.all(off == 1)
+
+    def test_intra_group_complete(self):
+        df = Dragonfly(a=4, h=2)
+        for grp in range(df.num_groups):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    assert df.graph.has_edge(df.router_id(grp, i), df.router_id(grp, j))
+
+    def test_global_degree_balanced(self):
+        # Every router owns exactly h global links.
+        df = Dragonfly(a=4, h=2)
+        deg = df.graph.degree()
+        assert np.all(deg == 3 + 2)
+
+    def test_table_v_configs(self):
+        df1 = Dragonfly(a=12, h=6, p=6)
+        assert (df1.num_routers, df1.network_radix) == (876, 17)
+        df2 = Dragonfly(a=6, h=27, p=10)
+        assert (df2.num_routers, df2.network_radix) == (978, 32)
+
+    def test_balanced_helper(self):
+        df = balanced_dragonfly(3)
+        assert (df.a, df.h, df.p) == (6, 3, 3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Dragonfly(a=0, h=1)
+
+
+class TestFatTree:
+    def test_sizes(self):
+        ft = FatTree(k=4, n=3)
+        assert ft.num_routers == 48
+        assert ft.num_endpoints == 64
+        assert ft.total_radix == 8
+
+    def test_paper_config(self):
+        ft = FatTree(k=18, n=3)
+        assert ft.num_routers == 972  # Table V
+        assert ft.total_radix == 36
+
+    def test_level_degrees(self):
+        ft = FatTree(k=4, n=3)
+        deg = ft.graph.degree()
+        levels = np.array([ft.switch_level(s) for s in range(ft.num_routers)])
+        assert np.all(deg[levels == 0] == 4)   # + 4 endpoints = radix 8
+        assert np.all(deg[levels == 1] == 8)
+        assert np.all(deg[levels == 2] == 4)   # top level: down only
+
+    def test_connected(self):
+        assert FatTree(k=3, n=3).is_connected()
+
+    def test_switch_id_roundtrip(self):
+        ft = FatTree(k=3, n=3)
+        for s in range(ft.num_routers):
+            level, addr = ft.switch_tuple(s)
+            assert ft.switch_id(level, addr) == s
+
+    def test_endpoints_only_at_edge(self):
+        ft = FatTree(k=4, n=3)
+        for s in range(ft.num_routers):
+            expected = 4 if ft.switch_level(s) == 0 else 0
+            assert ft.concentration[s] == expected
+
+    def test_nca_levels(self):
+        ft = FatTree(k=4, n=3)
+        assert ft.nca_level(0, 0) == 0
+        # Switches sharing the first digit meet below the top.
+        _, a0 = ft.switch_tuple(0)
+        for s in range(1, ft.switches_per_level):
+            _, a = ft.switch_tuple(s)
+            lvl = ft.nca_level(0, s)
+            if a[0] == a0[0]:
+                assert lvl <= 1
+            else:
+                assert lvl == 2
+
+    def test_nca_distance_consistent(self):
+        # Up-down distance = 2 * nca_level.
+        ft = FatTree(k=3, n=3)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            s, d = map(int, rng.integers(0, ft.switches_per_level, 2))
+            dist = ft.graph.bfs_distances(s)[d]
+            assert dist == 2 * ft.nca_level(s, d)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FatTree(k=1, n=3)
+
+
+class TestJellyfish:
+    def test_regular_and_connected(self):
+        jf = Jellyfish(n=40, r=5, p=2, seed=3)
+        assert np.all(jf.graph.degree() == 5)
+        assert jf.is_connected()
+        assert jf.num_endpoints == 80
+
+    def test_deterministic_under_seed(self):
+        a = Jellyfish(n=30, r=4, seed=11)
+        b = Jellyfish(n=30, r=4, seed=11)
+        assert np.array_equal(a.graph.edges(), b.graph.edges())
+
+    def test_different_seeds_differ(self):
+        a = Jellyfish(n=30, r=4, seed=1)
+        b = Jellyfish(n=30, r=4, seed=2)
+        assert not np.array_equal(a.graph.edges(), b.graph.edges())
+
+    def test_random_regular_rejects_odd_product(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)
+
+    def test_random_regular_rejects_degree_too_big(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4)
+
+    @pytest.mark.parametrize("n,r", ((20, 3), (25, 4), (50, 7)))
+    def test_various_sizes(self, n, r):
+        g = random_regular_graph(n, r, rng=0)
+        assert np.all(np.diff(g.indptr) == r)
+
+
+class TestHyperX:
+    def test_hamming_structure(self):
+        hx = HyperX(L=2, S=4)
+        assert hx.num_routers == 16
+        assert np.all(hx.graph.degree() == 6)
+        assert hx.diameter() == 2
+
+    def test_3d(self):
+        hx = HyperX(L=3, S=3)
+        assert hx.num_routers == 27
+        assert np.all(hx.graph.degree() == 6)
+        assert hx.diameter() == 3
+
+    def test_coords_roundtrip(self):
+        hx = HyperX(L=2, S=5)
+        for r in range(hx.num_routers):
+            assert hx.router_id(hx.router_coords(r)) == r
+
+    def test_adjacent_iff_differ_one_coord(self):
+        hx = HyperX(L=2, S=3)
+        for u in range(9):
+            for v in range(u + 1, 9):
+                cu, cv = hx.router_coords(u), hx.router_coords(v)
+                differ = sum(a != b for a, b in zip(cu, cv))
+                assert hx.graph.has_edge(u, v) == (differ == 1)
+
+    def test_helpers(self):
+        assert hyperx_order(2, 6) == 36
+        assert hyperx_radix(2, 6) == 10
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HyperX(L=0, S=3)
+
+
+class TestMoore:
+    def test_moore_bound_diameter2(self):
+        assert moore_bound_diameter2(3) == 10
+        assert moore_bound_diameter2(7) == 50
+        assert moore_bound(3, 2) == 10
+        assert moore_bound(7, 2) == 50
+
+    def test_moore_bound_diameter3(self):
+        assert moore_bound(3, 3) == 22
+
+    def test_moore_bound_degree_one(self):
+        assert moore_bound(1, 5) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            moore_bound(0, 2)
+
+    def test_petersen_meets_bound(self):
+        pet = PetersenTopology()
+        assert pet.num_routers == moore_bound_diameter2(3)
+        assert np.all(pet.graph.degree() == 3)
+        assert pet.diameter() == 2
+        # girth 5: no triangles, no quadrangles
+        assert pet.graph.triangles() == []
+        assert pet.graph.count_4cycles() == 0
+
+    def test_hoffman_singleton_meets_bound(self):
+        hs = HoffmanSingletonTopology()
+        assert hs.num_routers == moore_bound_diameter2(7)
+        assert np.all(hs.graph.degree() == 7)
+        assert hs.diameter() == 2
+        assert hs.graph.triangles() == []
+        assert hs.graph.count_4cycles() == 0

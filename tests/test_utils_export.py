@@ -1,0 +1,71 @@
+"""Unit tests for topology export formats."""
+
+import json
+
+import pytest
+
+from repro.core import ClusterLayout, PolarFly
+from repro.utils.export import cabling_manifest, to_dot, to_edge_list, to_json
+
+
+@pytest.fixture(scope="module")
+def pf():
+    return PolarFly(5)
+
+
+class TestEdgeList:
+    def test_line_count(self, pf):
+        lines = to_edge_list(pf).splitlines()
+        assert len(lines) == pf.num_links
+
+    def test_parseable_and_valid(self, pf):
+        for line in to_edge_list(pf).splitlines():
+            u, v = map(int, line.split())
+            assert pf.graph.has_edge(u, v)
+
+
+class TestDot:
+    def test_structure(self, pf):
+        dot = to_dot(pf)
+        assert dot.startswith("graph ")
+        assert dot.rstrip().endswith("}")
+        assert dot.count(" -- ") == pf.num_links
+
+    def test_custom_name(self, pf):
+        assert 'graph "mynet"' in to_dot(pf, name="mynet")
+
+
+class TestJson:
+    def test_roundtrip(self, pf):
+        doc = json.loads(to_json(pf))
+        assert doc["num_routers"] == pf.num_routers
+        assert doc["network_radix"] == pf.network_radix
+        assert len(doc["edges"]) == pf.num_links
+        assert len(doc["concentration"]) == pf.num_routers
+
+
+class TestCablingManifest:
+    def test_complete_cover(self, pf):
+        lay = ClusterLayout(pf)
+        manifest = cabling_manifest(lay)
+        intra = sum(len(r["intra_links"]) for r in manifest["racks"].values())
+        inter = sum(len(b) for b in manifest["bundles"].values())
+        assert intra + inter == pf.num_links
+
+    def test_bundle_sizes_match_paper(self, pf):
+        # q+1 links C0<->Ci, q-2 links Ci<->Cj.
+        q = pf.q
+        lay = ClusterLayout(pf)
+        manifest = cabling_manifest(lay)
+        for key, bundle in manifest["bundles"].items():
+            i, j = map(int, key.split("-"))
+            expected = q + 1 if i == 0 else q - 2
+            assert len(bundle) == expected, key
+
+    def test_rack_membership(self, pf):
+        lay = ClusterLayout(pf)
+        manifest = cabling_manifest(lay)
+        all_members = sorted(
+            v for r in manifest["racks"].values() for v in r["members"]
+        )
+        assert all_members == list(range(pf.num_routers))

@@ -1,0 +1,138 @@
+"""Unit tests for the CSR graph kernel."""
+
+import numpy as np
+import pytest
+
+from repro.utils.graph import Graph
+
+
+def path_graph(n):
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n):
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def complete_graph(n):
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(3, [])
+        assert g.num_edges == 0
+        assert g.degree().tolist() == [0, 0, 0]
+
+    def test_dedup_and_symmetry(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 5)])
+
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2).tolist() == [0, 1, 3]
+
+    def test_from_adjacency_matrix_roundtrip(self):
+        g = cycle_graph(6)
+        g2 = Graph.from_adjacency_matrix(g.adjacency_matrix())
+        assert np.array_equal(g.edges(), g2.edges())
+
+    def test_adjacency_matrix_symmetric(self):
+        g = cycle_graph(5)
+        adj = g.adjacency_matrix()
+        assert np.array_equal(adj, adj.T)
+        assert not adj.diagonal().any()
+
+
+class TestDistances:
+    def test_bfs_path_graph(self):
+        g = path_graph(5)
+        assert g.bfs_distances(0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_bfs_disconnected(self):
+        g = Graph(4, [(0, 1)])
+        d = g.bfs_distances(0)
+        assert d[1] == 1 and d[2] == -1 and d[3] == -1
+
+    def test_diameter(self):
+        assert path_graph(6).diameter() == 5
+        assert cycle_graph(6).diameter() == 3
+        assert complete_graph(5).diameter() == 1
+
+    def test_diameter_disconnected(self):
+        assert Graph(3, [(0, 1)]).diameter() == -1
+
+    def test_aspl_complete(self):
+        assert complete_graph(4).average_shortest_path_length() == 1.0
+
+    def test_aspl_path(self):
+        # P3: distances 1,2,1,1,2,1 over 6 ordered pairs -> 4/3
+        assert path_graph(3).average_shortest_path_length() == pytest.approx(4 / 3)
+
+    def test_aspl_disconnected_inf(self):
+        assert Graph(3, [(0, 1)]).average_shortest_path_length() == float("inf")
+
+    def test_eccentricity(self):
+        g = path_graph(5)
+        assert g.eccentricity(0) == 4
+        assert g.eccentricity(2) == 2
+
+    def test_connectivity(self):
+        assert cycle_graph(4).is_connected()
+        assert not Graph(4, [(0, 1), (2, 3)]).is_connected()
+
+    def test_sampled_diameter_lower_bound(self):
+        g = cycle_graph(20)
+        full = g.diameter()
+        sampled = g.diameter(sample=5, rng=0)
+        assert sampled <= full
+
+
+class TestMutation:
+    def test_remove_edges(self):
+        g = cycle_graph(5)
+        g2 = g.remove_edges([(0, 1)])
+        assert g2.num_edges == 4
+        assert not g2.has_edge(0, 1)
+        # original untouched
+        assert g.has_edge(0, 1)
+
+    def test_remove_edges_either_orientation(self):
+        g = cycle_graph(5)
+        assert not g.remove_edges([(1, 0)]).has_edge(0, 1)
+
+    def test_subgraph_mask(self):
+        g = complete_graph(5)
+        sub = g.subgraph_mask(np.array([True, True, True, False, False]))
+        assert sub.n == 3
+        assert sub.num_edges == 3
+
+
+class TestStructure:
+    def test_triangles_complete(self):
+        assert len(complete_graph(4).triangles()) == 4
+
+    def test_triangles_none_in_cycle(self):
+        assert cycle_graph(6).triangles() == []
+
+    def test_triangles_sorted_triples(self):
+        for tri in complete_graph(5).triangles():
+            assert tri[0] < tri[1] < tri[2]
+
+    def test_4cycles_in_c4(self):
+        assert cycle_graph(4).count_4cycles() == 1
+
+    def test_4cycles_in_k4(self):
+        assert complete_graph(4).count_4cycles() == 3
+
+    def test_no_4cycles_in_triangle(self):
+        assert complete_graph(3).count_4cycles() == 0

@@ -1,0 +1,45 @@
+"""Unit tests for validation helpers and RNG coercion."""
+
+import numpy as np
+import pytest
+
+from repro.utils import check_in_range, check_positive_int, check_probability, make_rng
+
+
+class TestMakeRng:
+    def test_from_seed_deterministic(self):
+        assert make_rng(7).integers(1000) == make_rng(7).integers(1000)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestValidation:
+    def test_positive_int_ok(self):
+        assert check_positive_int(5, "x") == 5
+        assert check_positive_int(np.int64(3), "x") == 3
+
+    def test_positive_int_rejects_zero_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+        with pytest.raises(ValueError):
+            check_positive_int(-2, "x")
+
+    def test_positive_int_rejects_fractional(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+
+    def test_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        assert check_probability(0, "p") == 0.0
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+    def test_in_range(self):
+        assert check_in_range(3, 1, 5, "v") == 3
+        with pytest.raises(ValueError):
+            check_in_range(9, 1, 5, "v")
