@@ -7,6 +7,14 @@ controlled by ``REPRO_BENCH_SCALE``:
   the qualitative curves; the full harness runs in minutes on a laptop.
 * ``medium`` — ~180-340 routers, longer runs.
 
+All simulation-based benches go through one shared
+:class:`~repro.experiments.runner.SweepRunner` (the unified experiment
+engine): sweeps are declared as :class:`~repro.experiments.spec.Combo`
+grids of registry spec strings, results land in the on-disk result cache
+(``$REPRO_CACHE_DIR``, off unless set), and re-running a figure only
+simulates missing cells.  Set ``REPRO_SWEEP_WORKERS=N`` to fan cells out
+over N processes — results are bit-identical at any worker count.
+
 Simulation-based benches print the same rows/series the paper plots; the
 shapes (who wins, roughly by what factor, where crossovers fall) are the
 reproduction target — absolute cycle counts differ from BookSim's.
@@ -16,13 +24,14 @@ from __future__ import annotations
 
 import os
 
-from repro import (
-    Dragonfly,
-    FatTree,
-    Jellyfish,
-    PolarFly,
-    SlimFly,
+from repro.experiments import (
+    Combo,
+    ExperimentSpec,
+    ResultCache,
+    SweepRunner,
+    TOPOLOGIES,
 )
+from repro.experiments.runner import auto_sim_config
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 
@@ -35,52 +44,96 @@ SIM_PARAMS = {
 #: offered loads swept in latency-vs-load figures
 LOADS = (0.2, 0.5, 0.8, 0.95)
 
+#: root seed shared by all benchmark sweeps (per-cell seeds derive from it)
+ROOT_SEED = 11
+
+#: Table V topologies as registry specs — the scaled analogues of the
+#: paper's configurations.  Scale "small" pins every direct network near
+#: PF(7)'s 57 routers with p=2 endpoints, mirroring the paper's iso-scale
+#: comparison (Table V pins everything near PF(31)'s 993 routers).
+TABLE_V_SPECS = {
+    "small": {
+        "PF": "polarfly:conc=2,q=7",
+        "SF": "slimfly:conc=2,q=5",
+        "DF1": "dragonfly:a=4,h=2,p=2",
+        "DF2": "dragonfly:a=3,h=6,p=2",
+        "JF": "jellyfish:n=57,p=2,r=8,seed=7",
+        "FT": "fattree:k=4,n=3",
+    },
+    "medium": {
+        "PF": "polarfly:conc=4,q=13",
+        "SF": "slimfly:conc=4,q=9",
+        "DF1": "dragonfly:a=6,h=3,p=3",
+        "DF2": "dragonfly:a=4,h=11,p=4",
+        "JF": "jellyfish:n=183,p=4,r=14,seed=7",
+        "FT": "fattree:k=6,n=3",
+    },
+}[SCALE]
+
 
 def table_v_configs():
-    """Scaled analogues of the paper's Table V configurations.
+    """The scaled Table V topologies, built from their registry specs."""
+    return {name: TOPOLOGIES.create(spec) for name, spec in TABLE_V_SPECS.items()}
 
-    Scale "small" pins every direct network near PF(7)'s 57 routers with
-    p=2 endpoints, mirroring the paper's iso-scale comparison (Table V
-    pins everything near PF(31)'s 993 routers):
 
-    * PF   q=7  -> 57 routers, radix 8
-    * SF   q=5  -> 50 routers, radix 7
-    * DF1  balanced a=4,h=2,p=2 -> 36 routers, radix 5
-    * DF2  radix-equivalent a=3,h=6 -> 57 routers, radix 8
-    * JF   57 routers, radix 8
-    * FT   3-level 4-ary -> 48 switches, 64 endpoints
+#: the one engine instance every benchmark shares; caching is opt-in
+#: (only when the operator sets REPRO_CACHE_DIR)
+ENGINE = SweepRunner(cache=ResultCache.from_env())
+
+
+def run_grid(combos, loads=LOADS, root_seed: int = ROOT_SEED, **overrides):
+    """Run a combo grid through the shared engine at benchmark scale.
+
+    ``overrides`` may replace any :class:`ExperimentSpec` field
+    (``warmup``, ``num_vcs``, ...); the scale's windows are the default.
     """
-    if SCALE == "small":
-        return {
-            "PF": PolarFly(7, concentration=2),
-            "SF": SlimFly(5, concentration=2),
-            "DF1": Dragonfly(a=4, h=2, p=2),
-            "DF2": Dragonfly(a=3, h=6, p=2),
-            "JF": Jellyfish(n=57, r=8, p=2, seed=7),
-            "FT": FatTree(k=4, n=3),
-        }
-    return {
-        "PF": PolarFly(13, concentration=4),
-        "SF": SlimFly(9, concentration=4),
-        "DF1": Dragonfly(a=6, h=3, p=3),
-        "DF2": Dragonfly(a=4, h=11, p=4),
-        "JF": Jellyfish(n=183, r=14, p=4, seed=7),
-        "FT": FatTree(k=6, n=3),
-    }
+    params = dict(SIM_PARAMS)
+    params.update(overrides)
+    spec = ExperimentSpec(
+        combos=tuple(combos), loads=tuple(loads), root_seed=root_seed, **params
+    )
+    return ENGINE.run(spec)
 
 
 def make_config(policy, port_budget: int = 32):
     """SimConfig with enough VCs for ``policy`` and a fixed port buffer.
 
-    Mirrors the paper's methodology: the total buffer per port stays
-    constant (their 128 flits; 32 at bench scale) while the VC count
-    covers the policy's worst-case hop count (Valiant on a diameter-3
-    baseline needs 6 hops -> 5 VCs).
+    Delegates to the engine's :func:`auto_sim_config` — the same
+    derivation sweep workers apply to spec-built policies.
     """
-    from repro.flitsim import SimConfig
+    return auto_sim_config(policy, port_budget=port_budget)
 
-    vcs = max(4, policy.max_hops - 1)
-    return SimConfig(num_vcs=vcs, vc_depth=max(2, port_budget // vcs))
+
+def adaptive_combos(name: str, traffic: str):
+    """The adaptive-routing curves benchmarked for Table V entry ``name``.
+
+    FT routes NCA (its only sensible policy); every direct network gets
+    UGAL; PolarFly additionally gets the paper's UGAL_PF.
+    """
+    topo = TABLE_V_SPECS[name]
+    if name == "FT":
+        return [Combo(topo, "ftnca", traffic, label="FT-NCA")]
+    out = [Combo(topo, "ugal", traffic, label=f"{name}-UGAL")]
+    if name == "PF":
+        out.append(Combo(topo, "ugal-pf", traffic, label="PF-UGALPF"))
+    return out
+
+
+def minimal_combo(name: str, traffic: str) -> Combo:
+    """The min-path curve for Table V entry ``name`` (NCA on the FT)."""
+    topo = TABLE_V_SPECS[name]
+    if name == "FT":
+        return Combo(topo, "ftnca", traffic, label="FT-NCA")
+    return Combo(topo, "min", traffic, label=f"{name}-MIN")
+
+
+def sweep_rows(sweeps):
+    """Standard (config, offered, latency, accepted) table rows."""
+    return [
+        [s.label, p.offered_load, f"{p.avg_latency:.1f}", f"{p.accepted_load:.3f}"]
+        for s in sweeps
+        for p in s.points
+    ]
 
 
 def print_table(title: str, headers, rows) -> None:

@@ -1,4 +1,4 @@
-"""Benchmark fixtures: share expensive topology/table construction."""
+"""Benchmark fixtures: share expensive topology construction."""
 
 import sys
 from pathlib import Path
@@ -9,16 +9,8 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from common import table_v_configs  # noqa: E402
 
-from repro.routing import RoutingTables  # noqa: E402
-
 
 @pytest.fixture(scope="session")
 def configs():
-    """The scaled Table V topologies."""
+    """The scaled Table V topologies (built from their registry specs)."""
     return table_v_configs()
-
-
-@pytest.fixture(scope="session")
-def routing_tables(configs):
-    """Routing tables per topology (built once per session)."""
-    return {name: RoutingTables(topo) for name, topo in configs.items()}

@@ -4,51 +4,41 @@
 * Compact Valiant vs general Valiant intermediates;
 * router buffer depth sensitivity;
 * spectral-only vs KL-refined bisection quality.
+
+The simulation ablations run through the shared experiment engine; the
+knob under study is just a field of the policy spec string or the
+experiment spec, so every variant is cacheable and parallelizable like
+any other cell.
 """
 
-import numpy as np
-from common import SIM_PARAMS, make_config, print_table
+from common import TABLE_V_SPECS, print_table, run_grid
 
 from repro import PolarFly, SlimFly
 from repro.analysis.bisection import bisection_cut
-from repro.flitsim import (
-    NetworkSimulator,
-    RandomPermutationTraffic,
-    SimConfig,
-    TornadoTraffic,
-    UniformTraffic,
-)
-from repro.routing import (
-    CompactValiantRouting,
-    MinimalRouting,
-    RoutingTables,
-    UGALPFRouting,
-    ValiantRouting,
-)
+from repro.experiments import Combo
 
 
-def test_abl_ugalpf_threshold(benchmark, configs, routing_tables):
+def test_abl_ugalpf_threshold(benchmark, configs):
     """Threshold sweep: 0 behaves like UGAL, 1 like MIN; 2/3 is the knee."""
-    pf, tables = configs["PF"], routing_tables["PF"]
+    pf_spec = TABLE_V_SPECS["PF"]
 
     # Note: the occupancy estimate includes local VOQ backlog, so it can
     # exceed the buffer capacity — "off" therefore needs a huge threshold,
     # not 1.0.
     OFF = 1e9
+    thresholds = (0.0, 1 / 3, 2 / 3, OFF)
+    combos = [
+        Combo(pf_spec, f"ugal-pf:threshold={thr!r}", "tornado", label=f"thr={thr:g}")
+        for thr in thresholds
+    ]
 
-    def run():
-        out = {}
-        for thr in (0.0, 1 / 3, 2 / 3, OFF):
-            policy = UGALPFRouting(tables, threshold=thr)
-            sim = NetworkSimulator(
-                pf, policy, TornadoTraffic(pf), 0.7,
-                config=make_config(policy), seed=31,
-            )
-            res = sim.run(**SIM_PARAMS)
-            out[thr] = (res.accepted_load, res.avg_latency, res.avg_hops)
-        return out
-
-    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: run_grid(combos, loads=(0.7,), root_seed=31), rounds=1, iterations=1
+    )
+    res = {
+        thr: (s.points[0].accepted_load, s.points[0].avg_latency, s.points[0].avg_hops)
+        for thr, s in zip(thresholds, result.sweeps)
+    }
     rows = [
         ["off" if thr == OFF else f"{thr:.2f}", f"{acc:.3f}", f"{lat:.1f}", f"{hops:.2f}"]
         for thr, (acc, lat, hops) in res.items()
@@ -58,7 +48,7 @@ def test_abl_ugalpf_threshold(benchmark, configs, routing_tables):
         ["threshold", "accepted", "latency", "avg hops"],
         rows,
     )
-    p = int(pf.concentration[0])
+    p = int(configs["PF"].concentration[0])
     # Adaptation off -> min-path cap ~1/p of injection bandwidth.
     assert res[OFF][0] <= 1 / p + 0.08
     # the paper's 2/3 must clearly beat no adaptation.
@@ -67,25 +57,21 @@ def test_abl_ugalpf_threshold(benchmark, configs, routing_tables):
     assert res[0.0][2] >= res[2 / 3][2] - 0.05
 
 
-def test_abl_compact_vs_general_valiant(benchmark, configs, routing_tables):
+def test_abl_compact_vs_general_valiant(benchmark):
     """Compact Valiant buys shorter detours at equal-or-better throughput."""
-    pf, tables = configs["PF"], routing_tables["PF"]
+    pf_spec = TABLE_V_SPECS["PF"]
+    combos = [
+        Combo(pf_spec, "valiant", "randperm:seed=2", label="general"),
+        Combo(pf_spec, "compact-valiant", "randperm:seed=2", label="compact"),
+    ]
 
-    def run():
-        out = {}
-        for name, policy in (
-            ("general", ValiantRouting(tables)),
-            ("compact", CompactValiantRouting(tables)),
-        ):
-            sim = NetworkSimulator(
-                pf, policy, RandomPermutationTraffic(pf, seed=2), 0.5,
-                config=make_config(policy), seed=33,
-            )
-            res = sim.run(**SIM_PARAMS)
-            out[name] = (res.accepted_load, res.avg_latency, res.avg_hops)
-        return out
-
-    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: run_grid(combos, loads=(0.5,), root_seed=33), rounds=1, iterations=1
+    )
+    res = {
+        s.label: (s.points[0].accepted_load, s.points[0].avg_latency, s.points[0].avg_hops)
+        for s in result.sweeps
+    }
     rows = [
         [name, f"{acc:.3f}", f"{lat:.1f}", f"{hops:.2f}"]
         for name, (acc, lat, hops) in res.items()
@@ -99,20 +85,20 @@ def test_abl_compact_vs_general_valiant(benchmark, configs, routing_tables):
     assert res["compact"][2] < res["general"][2]
 
 
-def test_abl_buffer_depth(benchmark, configs, routing_tables):
+def test_abl_buffer_depth(benchmark):
     """Deeper buffers absorb burstiness; tiny ones throttle throughput."""
-    pf, tables = configs["PF"], routing_tables["PF"]
-    policy = MinimalRouting(tables)
+    pf_spec = TABLE_V_SPECS["PF"]
+    combo = Combo(pf_spec, "min", "uniform")
+    depths = (2, 8, 32)
 
     def run():
         out = {}
-        for depth in (2, 8, 32):
-            cfg = SimConfig(num_vcs=4, vc_depth=depth)
-            sim = NetworkSimulator(
-                pf, policy, UniformTraffic(pf), 0.8, config=cfg, seed=35
+        for depth in depths:
+            result = run_grid(
+                [combo], loads=(0.8,), root_seed=35, num_vcs=4, vc_depth=depth
             )
-            res = sim.run(**SIM_PARAMS)
-            out[depth] = (res.accepted_load, res.avg_latency)
+            pt = result.sweeps[0].points[0]
+            out[depth] = (pt.accepted_load, pt.avg_latency)
         return out
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)

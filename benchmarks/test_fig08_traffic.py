@@ -1,7 +1,7 @@
 """Figure 8 — latency vs offered load across topologies and routings.
 
 Four sub-figures, each a latency-vs-load sweep on the (scaled) Table V
-configurations:
+configurations, all executed by the shared experiment engine:
 
   (a) uniform traffic, minimal routing (+ FT-NCA);
   (b) uniform traffic, adaptive routing (UGAL / UGAL_PF);
@@ -15,116 +15,58 @@ while min-path would cap at 1/p.
 """
 
 import pytest
-from common import LOADS, SIM_PARAMS, make_config, print_table
-
-from repro.flitsim import (
-    RandomPermutationTraffic,
-    TornadoTraffic,
-    UniformTraffic,
-    run_load_sweep,
+from common import (
+    TABLE_V_SPECS,
+    adaptive_combos,
+    minimal_combo,
+    print_table,
+    run_grid,
+    sweep_rows,
 )
-from repro.routing import (
-    FatTreeNCARouting,
-    MinimalRouting,
-    UGALPFRouting,
-    UGALRouting,
-)
-
-
-def sweep(topo, policy, traffic, label):
-    return run_load_sweep(
-        topo,
-        policy,
-        traffic,
-        loads=LOADS,
-        label=label,
-        config=make_config(policy),
-        seed=11,
-        **SIM_PARAMS,
-    )
 
 
 def show(title, sweeps):
-    rows = []
-    for s in sweeps:
-        for p in s.points:
-            rows.append(
-                [s.label, p.offered_load, f"{p.avg_latency:.1f}",
-                 f"{p.accepted_load:.3f}"]
-            )
-    print_table(title, ["config", "offered", "latency", "accepted"], rows)
+    print_table(title, ["config", "offered", "latency", "accepted"], sweep_rows(sweeps))
 
 
-def _min_policy(name, tables):
-    if name == "FT":
-        return FatTreeNCARouting(tables), "FT-NCA"
-    return MinimalRouting(tables), f"{name}-MIN"
+def test_fig08a_uniform_min(benchmark):
+    combos = [minimal_combo(name, "uniform") for name in TABLE_V_SPECS]
 
-
-def _adaptive_policies(name, tables):
-    if name == "FT":
-        return [(FatTreeNCARouting(tables), "FT-NCA")]
-    out = [(UGALRouting(tables), f"{name}-UGAL")]
-    if name == "PF":
-        out.append((UGALPFRouting(tables), "PF-UGALPF"))
-    return out
-
-
-def test_fig08a_uniform_min(benchmark, configs, routing_tables):
-    def run():
-        sweeps = []
-        for name, topo in configs.items():
-            policy, label = _min_policy(name, routing_tables[name])
-            sweeps.append(sweep(topo, policy, UniformTraffic(topo), label))
-        return sweeps
-
-    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
-    show("Figure 8a: uniform traffic, min-path routing", sweeps)
-    sat = {s.label: s.saturation_load() for s in sweeps}
+    result = benchmark.pedantic(lambda: run_grid(combos), rounds=1, iterations=1)
+    show("Figure 8a: uniform traffic, min-path routing", result.sweeps)
+    sat = result.saturation_table()
     # PolarFly saturates at or above the other direct min-routed networks.
     assert sat["PF-MIN"] >= sat["DF1-MIN"] - 0.05
     assert sat["PF-MIN"] >= sat["DF2-MIN"] - 0.05
     # Low-load latency: diameter 2 beats the diameter-3 Dragonfly.
-    lat = {s.label: s.points[0].avg_latency for s in sweeps}
+    lat = {s.label: s.points[0].avg_latency for s in result.sweeps}
     assert lat["PF-MIN"] < lat["DF1-MIN"]
 
 
-def test_fig08b_uniform_adaptive(benchmark, configs, routing_tables):
-    def run():
-        sweeps = []
-        for name, topo in configs.items():
-            for policy, label in _adaptive_policies(name, routing_tables[name]):
-                sweeps.append(sweep(topo, policy, UniformTraffic(topo), label))
-        return sweeps
+def test_fig08b_uniform_adaptive(benchmark):
+    combos = [c for name in TABLE_V_SPECS for c in adaptive_combos(name, "uniform")]
 
-    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
-    show("Figure 8b: uniform traffic, adaptive routing", sweeps)
-    sat = {s.label: s.saturation_load() for s in sweeps}
+    result = benchmark.pedantic(lambda: run_grid(combos), rounds=1, iterations=1)
+    show("Figure 8b: uniform traffic, adaptive routing", result.sweeps)
+    sat = result.saturation_table()
     # UGAL_PF tracks near-minimal behaviour under uniform traffic and
     # stays competitive with the fat tree.
     assert sat["PF-UGALPF"] >= 0.9 * sat["PF-UGAL"]
-    lat = {s.label: s.points[0].avg_latency for s in sweeps}
+    lat = {s.label: s.points[0].avg_latency for s in result.sweeps}
     assert lat["PF-UGALPF"] < lat["FT-NCA"] * 1.5
 
 
 @pytest.mark.parametrize(
-    "fig,traffic_cls",
-    [("8c: random permutation", RandomPermutationTraffic), ("8d: tornado", TornadoTraffic)],
+    "fig,traffic",
+    [("8c: random permutation", "randperm:seed=3"), ("8d: tornado", "tornado")],
     ids=["randperm", "tornado"],
 )
-def test_fig08cd_permutations_adaptive(benchmark, configs, routing_tables, fig, traffic_cls):
-    def run():
-        sweeps = []
-        for name, topo in configs.items():
-            kwargs = {"seed": 3} if traffic_cls is RandomPermutationTraffic else {}
-            traffic = traffic_cls(topo, **kwargs)
-            for policy, label in _adaptive_policies(name, routing_tables[name]):
-                sweeps.append(sweep(topo, policy, traffic, label))
-        return sweeps
+def test_fig08cd_permutations_adaptive(benchmark, fig, traffic):
+    combos = [c for name in TABLE_V_SPECS for c in adaptive_combos(name, traffic)]
 
-    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
-    show(f"Figure {fig} traffic, adaptive routing", sweeps)
-    sat = {s.label: s.saturation_load() for s in sweeps}
+    result = benchmark.pedantic(lambda: run_grid(combos), rounds=1, iterations=1)
+    show(f"Figure {fig} traffic, adaptive routing", result.sweeps)
+    sat = result.saturation_table()
     # Paper: PolarFly sustains 50-66% of injection bandwidth under
     # adversarial permutations, outperforming SF and DF.
     assert sat["PF-UGALPF"] >= 0.45

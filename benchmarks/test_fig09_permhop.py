@@ -7,52 +7,37 @@ bandwidth, adaptive routing reaches ~50%+.
 """
 
 import pytest
-from common import SIM_PARAMS, make_config, print_table
+from common import TABLE_V_SPECS, print_table, run_grid, sweep_rows
 
-from repro.flitsim import (
-    OneHopPermutationTraffic,
-    TwoHopPermutationTraffic,
-    run_load_sweep,
-)
-from repro.routing import MinimalRouting, UGALPFRouting, UGALRouting
+from repro.experiments import Combo
 
 LOADS9 = (0.2, 0.4, 0.6)
 
 
 @pytest.mark.parametrize(
-    "name,traffic_cls",
-    [("Perm2Hop", TwoHopPermutationTraffic), ("Perm1Hop", OneHopPermutationTraffic)],
+    "name,traffic",
+    [("Perm2Hop", "perm2hop:seed=1"), ("Perm1Hop", "perm1hop:seed=1")],
     ids=["perm2hop", "perm1hop"],
 )
-def test_fig09_permhop(benchmark, configs, routing_tables, name, traffic_cls):
-    pf = configs["PF"]
-    tables = routing_tables["PF"]
-    policies = [
-        ("PF-MIN", MinimalRouting(tables)),
-        ("PF-UGAL", UGALRouting(tables)),
-        ("PF-UGALPF", UGALPFRouting(tables)),
+def test_fig09_permhop(benchmark, configs, name, traffic):
+    pf_spec = TABLE_V_SPECS["PF"]
+    combos = [
+        Combo(pf_spec, "min", traffic, label="PF-MIN"),
+        Combo(pf_spec, "ugal", traffic, label="PF-UGAL"),
+        Combo(pf_spec, "ugal-pf", traffic, label="PF-UGALPF"),
     ]
 
-    def run():
-        traffic = traffic_cls(pf, seed=1)
-        return [
-            run_load_sweep(
-                pf, policy, traffic, loads=LOADS9, label=label,
-                config=make_config(policy), seed=21, **SIM_PARAMS,
-            )
-            for label, policy in policies
-        ]
+    result = benchmark.pedantic(
+        lambda: run_grid(combos, loads=LOADS9), rounds=1, iterations=1
+    )
+    print_table(
+        f"Figure 9: {name} on PolarFly",
+        ["config", "offered", "latency", "accepted"],
+        sweep_rows(result.sweeps),
+    )
 
-    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = [
-        [s.label, p.offered_load, f"{p.avg_latency:.1f}", f"{p.accepted_load:.3f}"]
-        for s in sweeps
-        for p in s.points
-    ]
-    print_table(f"Figure 9: {name} on PolarFly", ["config", "offered", "latency", "accepted"], rows)
-
-    sat = {s.label: s.saturation_load() for s in sweeps}
-    p = int(pf.concentration[0])
+    sat = result.saturation_table()
+    p = int(configs["PF"].concentration[0])
     # Min-path permutations cap at ~1/p of injection bandwidth.
     assert sat["PF-MIN"] <= 1 / p + 0.08
     # Adaptive routing sustains far more.

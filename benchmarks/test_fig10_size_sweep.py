@@ -6,53 +6,40 @@ size, for both min-path and UGAL_PF routing.  The scaled harness sweeps
 q in {5, 7, 9} (31-91 routers) with the same balance.
 """
 
-from common import SCALE, SIM_PARAMS, make_config, print_table
+from common import SCALE, print_table, run_grid, sweep_rows
 
-from repro import PolarFly
-from repro.flitsim import UniformTraffic, run_load_sweep
-from repro.routing import MinimalRouting, RoutingTables, UGALPFRouting
+from repro.experiments import Combo
 
 QS = (5, 7, 9) if SCALE == "small" else (7, 9, 13)
 LOADS10 = (0.2, 0.5, 0.8)
 
 
 def test_fig10_size_sweep(benchmark):
-    def run():
-        sweeps = []
-        for q in QS:
-            pf = PolarFly(q, concentration=(q + 1) // 2)
-            tables = RoutingTables(pf)
-            for policy, label in (
-                (MinimalRouting(tables), f"PF{q}-MIN"),
-                (UGALPFRouting(tables), f"PF{q}-UGALPF"),
-            ):
-                sweeps.append(
-                    run_load_sweep(
-                        pf, policy, UniformTraffic(pf), loads=LOADS10,
-                        label=label, config=make_config(policy), seed=5,
-                        **SIM_PARAMS,
-                    )
-                )
-        return sweeps
-
-    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = [
-        [s.label, p.offered_load, f"{p.avg_latency:.1f}", f"{p.accepted_load:.3f}"]
-        for s in sweeps
-        for p in s.points
+    combos = [
+        Combo(f"polarfly:conc={(q + 1) // 2},q={q}", policy, "uniform", label=label)
+        for q in QS
+        for policy, label in (("min", f"PF{q}-MIN"), ("ugal-pf", f"PF{q}-UGALPF"))
     ]
-    print_table("Figure 10: PolarFly size sweep (uniform)", ["config", "offered", "latency", "accepted"], rows)
+
+    result = benchmark.pedantic(
+        lambda: run_grid(combos, loads=LOADS10, root_seed=5), rounds=1, iterations=1
+    )
+    print_table(
+        "Figure 10: PolarFly size sweep (uniform)",
+        ["config", "offered", "latency", "accepted"],
+        sweep_rows(result.sweeps),
+    )
 
     # Stability claim: saturation within a modest band across sizes for
     # each routing policy.
     for suffix in ("MIN", "UGALPF"):
         sats = [
-            s.saturation_load() for s in sweeps if s.label.endswith(suffix)
+            s.saturation_load() for s in result.sweeps if s.label.endswith(suffix)
         ]
         assert max(sats) - min(sats) < 0.25, (suffix, sats)
     # Low-load latency also stable (diameter stays 2).
     for suffix in ("MIN", "UGALPF"):
         lats = [
-            s.points[0].avg_latency for s in sweeps if s.label.endswith(suffix)
+            s.points[0].avg_latency for s in result.sweeps if s.label.endswith(suffix)
         ]
         assert max(lats) / min(lats) < 1.6, (suffix, lats)

@@ -7,11 +7,11 @@ successive non-quadric steps flatten out.  Scaled here to PF(7) grown by
 1-3 racks.
 """
 
-from common import SCALE, SIM_PARAMS, make_config, print_table
+from common import ENGINE, SCALE, SIM_PARAMS, print_table
 
 from repro import PolarFly
 from repro.core import replicate_nonquadric_clusters, replicate_quadrics
-from repro.flitsim import NetworkSimulator, UniformTraffic
+from repro.flitsim import UniformTraffic
 from repro.routing import RoutingTables, UGALPFRouting
 
 Q = 7 if SCALE == "small" else 13
@@ -20,13 +20,13 @@ LOAD = 0.85
 
 
 def throughput(topo):
-    tables = RoutingTables(topo)
-    policy = UGALPFRouting(tables)
-    sim = NetworkSimulator(
-        topo, policy, UniformTraffic(topo), LOAD,
-        config=make_config(policy), seed=13,
+    # Expanded fabrics are in-memory objects without registry specs, so
+    # they run through the shared engine's object path.
+    policy = UGALPFRouting(RoutingTables(topo))
+    sweep = ENGINE.run_objects(
+        topo, policy, UniformTraffic(topo), loads=(LOAD,), seed=13, **SIM_PARAMS
     )
-    return sim.run(**SIM_PARAMS).accepted_load
+    return sweep.points[0].accepted_load
 
 
 def test_fig11_expansion(benchmark):

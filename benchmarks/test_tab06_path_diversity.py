@@ -6,7 +6,6 @@ to the closed forms (ours, exact) and the paper's entries (whose length-3
 row counts midpoint-avoiding paths; see repro.analysis.path_diversity).
 """
 
-import numpy as np
 from common import SCALE, print_table
 
 from repro.analysis import (
@@ -16,13 +15,14 @@ from repro.analysis import (
     paper_path_counts,
 )
 from repro.core import PolarFly
+from repro.utils.rng import make_rng
 
 Q = 7 if SCALE == "small" else 11
 
 
 def representative_pairs(pf, seed=0):
     """One vertex pair per Table VI case, found by sampling."""
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     found = {}
     for _ in range(4000):
         v, w = map(int, rng.integers(0, pf.num_routers, 2))

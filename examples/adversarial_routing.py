@@ -15,50 +15,51 @@ protocols against each other on three patterns:
 
 Protocols: MIN, UGAL (general Valiant), UGAL_PF (Compact Valiant + 2/3
 occupancy threshold, the paper's contribution).
+
+The whole study is ONE experiment-engine grid: 3 policies x 3 patterns x
+3 loads = 27 cells, declared as spec strings and executed by the shared
+SweepRunner.  Set REPRO_SWEEP_WORKERS=4 to fan the cells over worker
+processes, and REPRO_CACHE_DIR=/tmp/repro-cache to make re-runs instant —
+either way the numbers are bit-identical.
 """
 
-from repro import (
-    MinimalRouting,
-    NetworkSimulator,
-    OneHopPermutationTraffic,
-    PolarFly,
-    RoutingTables,
-    TornadoTraffic,
-    UGALPFRouting,
-    UGALRouting,
-    UniformTraffic,
-)
+from repro.experiments import ExperimentSpec, ResultCache, SweepRunner
 
-
-def run_point(topo, policy, traffic, load):
-    sim = NetworkSimulator(topo, policy, traffic, load, seed=7)
-    return sim.run(warmup=300, measure=600, drain=200)
+PF = "polarfly:conc=2,q=7"
+POLICIES = [("min", "MIN"), ("ugal", "UGAL"), ("ugal-pf", "UGAL_PF")]
+PATTERNS = [("uniform", "uniform"), ("tornado", "tornado"), ("perm1hop:seed=0", "perm1hop")]
 
 
 def main() -> None:
-    pf = PolarFly(7, concentration=2)
-    tables = RoutingTables(pf)
-    policies = {
-        "MIN": MinimalRouting(tables),
-        "UGAL": UGALRouting(tables),
-        "UGAL_PF": UGALPFRouting(tables),
-    }
-    patterns = {
-        "uniform": UniformTraffic(pf),
-        "tornado": TornadoTraffic(pf),
-        "perm1hop": OneHopPermutationTraffic(pf, seed=0),
-    }
+    spec = ExperimentSpec.grid(
+        [PF],
+        [p for p, _ in POLICIES],
+        [t for t, _ in PATTERNS],
+        loads=(0.3, 0.6, 0.9),
+        warmup=300,
+        measure=600,
+        drain=200,
+        root_seed=7,
+    )
+    print("=== Routing on PolarFly(7), 57 routers, p=2 ===")
+    print(f"    ({spec.describe()})\n")
+    # Caching is opt-in (same convention as the benchmarks): persisting
+    # results without being asked would silently replay stale numbers
+    # after a simulator change.
+    result = SweepRunner(cache=ResultCache.from_env()).run(spec)
+    if result.cache_hits:
+        print(f"[result cache: {result.cache_hits} hits, "
+              f"{result.cache_misses} simulated]\n")
 
-    print(f"=== Routing on PolarFly(7), {pf.num_routers} routers, p=2 ===\n")
-    for pat_name, traffic in patterns.items():
+    for pat_spec, pat_name in PATTERNS:
         print(f"--- {pat_name} traffic ---")
         print(f"  {'policy':<8} {'load':>5} {'accepted':>9} {'latency':>9}")
-        for pol_name, policy in policies.items():
-            for load in (0.3, 0.6, 0.9):
-                res = run_point(pf, policy, traffic, load)
+        for pol_spec, pol_name in POLICIES:
+            sweep = result.sweep(f"{PF}|{pol_spec}|{pat_spec}")
+            for pt in sweep.points:
                 print(
-                    f"  {pol_name:<8} {load:>5.2f} "
-                    f"{res.accepted_load:>9.3f} {res.avg_latency:>8.1f}c"
+                    f"  {pol_name:<8} {pt.offered_load:>5.2f} "
+                    f"{pt.accepted_load:>9.3f} {pt.avg_latency:>8.1f}c"
                 )
         print()
 

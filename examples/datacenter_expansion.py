@@ -17,22 +17,28 @@ throughput under uniform traffic (the Figure 11 experiment, scaled down).
 
 from repro import (
     MinimalRouting,
-    NetworkSimulator,
     PolarFly,
     RoutingTables,
+    SweepRunner,
     UniformTraffic,
     replicate_nonquadric_clusters,
     replicate_quadrics,
 )
 
+# Expanded fabrics are grown in memory, not expressible as registry spec
+# strings — so they go through the engine's object path (same per-point
+# execution as spec sweeps, no cache).
+ENGINE = SweepRunner()
+
 
 def evaluate(topo, label):
     deg = topo.graph.degree()
     tables = RoutingTables(topo)
-    sim = NetworkSimulator(
-        topo, MinimalRouting(tables), UniformTraffic(topo), load=0.4, seed=1
+    sweep = ENGINE.run_objects(
+        topo, MinimalRouting(tables), UniformTraffic(topo), loads=(0.4,),
+        warmup=250, measure=500, drain=200, seed=1,
     )
-    res = sim.run(warmup=250, measure=500, drain=200)
+    res = sweep.points[0]
     print(
         f"  {label:<28} N={topo.num_routers:<4} "
         f"deg=[{deg.min()},{deg.max()}] D={topo.diameter()} "

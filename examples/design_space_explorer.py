@@ -14,7 +14,7 @@ a bisection/resilience spot check on concrete instances.
 
 import sys
 
-from repro import PolarFly, SlimFly, feasible_q_for_radix, moore_bound_diameter2
+from repro import TOPOLOGIES, feasible_q_for_radix, moore_bound_diameter2
 from repro.analysis import (
     bisection_fraction,
     cost_comparison,
@@ -56,9 +56,10 @@ def main(max_radix: int = 32) -> None:
         row = ", ".join(f"{n}={v:.2f}" for n, v in costs.items())
         print(f"  {scenario:<12}: {row}")
 
-    # Concrete spot check on buildable instances.
+    # Concrete spot check on buildable instances, constructed from the
+    # same registry specs the experiment engine uses.
     print("\nSpot check on real instances (bisection + 30% link failure):")
-    for topo in (PolarFly(9), SlimFly(7)):
+    for topo in map(TOPOLOGIES.create, ("polarfly:q=9", "slimfly:q=7")):
         frac = bisection_fraction(topo)
         sweep = link_failure_sweep(topo, steps=[0.3], seed=0)
         print(

@@ -14,13 +14,12 @@ A day-2-operations walkthrough on a PolarFly fabric:
 4. fail a whole router and confirm the diameter-3 claim for node loss.
 """
 
-import numpy as np
-
 from repro import (
     MinimalRouting,
     NetworkSimulator,
     PolarFly,
     RoutingTables,
+    SweepRunner,
     TornadoTraffic,
     UGALPFRouting,
     UniformTraffic,
@@ -28,6 +27,7 @@ from repro import (
 from repro.analysis import node_failure_diameter
 from repro.flitsim import run_with_telemetry
 from repro.routing import degraded_topology, reroute_after_failures
+from repro.utils.rng import make_rng
 
 
 def main() -> None:
@@ -47,7 +47,7 @@ def main() -> None:
           f"Gini {tel2.gini():.2f}  (adaptive routing spreads the load)\n")
 
     # 2. Fail 10% of links at random.
-    rng = np.random.default_rng(1)
+    rng = make_rng(1)
     edges = pf.graph.edges()
     kill = rng.choice(len(edges), size=len(edges) // 10, replace=False)
     failed = [tuple(map(int, edges[i])) for i in kill]
@@ -56,16 +56,17 @@ def main() -> None:
     print(f"  connected: {deg.is_connected()}, diameter {deg.diameter()} "
           f"(paper: 3-4 expected), ASPL {deg.average_shortest_path_length():.2f}\n")
 
-    # 3. Reroute and re-simulate on the broken fabric.
+    # 3. Reroute and re-simulate on the broken fabric.  A degraded
+    #    topology is a live object with no registry spec, so it runs
+    #    through the engine's object path (auto-sized VC config).
     print("Step 3 — reroute and carry traffic on the degraded fabric:")
     deg_tables = reroute_after_failures(pf, failed)
     policy = MinimalRouting(deg_tables)
-    from repro.flitsim import SimConfig
-
-    cfg = SimConfig(num_vcs=max(4, policy.max_hops - 1))
-    sim3 = NetworkSimulator(deg, policy, UniformTraffic(deg), 0.3,
-                            config=cfg, seed=2)
-    res3 = sim3.run(warmup=200, measure=500, drain=200)
+    sweep3 = SweepRunner().run_objects(
+        deg, policy, UniformTraffic(deg), loads=(0.3,),
+        warmup=200, measure=500, drain=200, seed=2,
+    )
+    res3 = sweep3.points[0]
     print(f"  accepted {res3.accepted_load:.3f} at offered 0.30; "
           f"avg hops {res3.avg_hops:.2f} (max {policy.max_hops})\n")
 

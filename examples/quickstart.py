@@ -11,14 +11,7 @@ short cycle-accurate simulation under uniform traffic.
 
 import sys
 
-from repro import (
-    ClusterLayout,
-    MinimalRouting,
-    NetworkSimulator,
-    PolarFly,
-    RoutingTables,
-    UniformTraffic,
-)
+from repro import ClusterLayout, ExperimentSpec, PolarFly, SweepRunner
 
 
 def main(q: int = 7) -> None:
@@ -51,15 +44,18 @@ def main(q: int = 7) -> None:
     print(f"route {pf.vectors[s].tolist()} -> {pf.vectors[d].tolist()}:")
     print(f"  routers {path}  ({len(path) - 1} hops, midpoint via s x d)\n")
 
-    # 4. Cycle-accurate simulation under uniform traffic.
-    tables = RoutingTables(pf)
-    sim = NetworkSimulator(
-        pf, MinimalRouting(tables), UniformTraffic(pf), load=0.3, seed=0
+    # 4. Cycle-accurate simulation via the experiment engine: the whole
+    #    cell is a string spec, so it is hashable, cacheable, and
+    #    reproducible from the root seed alone.
+    spec = ExperimentSpec.grid(
+        [f"polarfly:conc=4,q={q}"], ["min"], ["uniform"],
+        loads=(0.3,), warmup=300, measure=600, drain=200, root_seed=0,
     )
-    res = sim.run(warmup=300, measure=600, drain=200)
+    res = SweepRunner().run(spec).sweeps[0].points[0]
     print("simulation (uniform traffic, offered load 0.30):")
     print(f"  accepted load : {res.accepted_load:.3f} flits/cycle/endpoint")
     print(f"  avg latency   : {res.avg_latency:.1f} cycles")
+    print(f"  p50 latency   : {res.p50_latency:.1f} cycles")
     print(f"  p99 latency   : {res.p99_latency:.1f} cycles")
     print(f"  avg hops      : {res.avg_hops:.2f}  (diameter-2 network)")
 

@@ -76,8 +76,17 @@ from repro.flitsim import (
     LoadSweep,
 )
 from repro.fields import GF
+from repro.experiments import (
+    Combo,
+    ExperimentSpec,
+    ResultCache,
+    SweepRunner,
+    TOPOLOGIES,
+    POLICIES,
+    TRAFFICS,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PolarFly",
@@ -121,5 +130,12 @@ __all__ = [
     "run_load_sweep",
     "LoadSweep",
     "GF",
+    "Combo",
+    "ExperimentSpec",
+    "ResultCache",
+    "SweepRunner",
+    "TOPOLOGIES",
+    "POLICIES",
+    "TRAFFICS",
     "__version__",
 ]

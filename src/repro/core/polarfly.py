@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.registry import TOPOLOGIES
 from repro.fields import GF, is_prime_power
 from repro.topologies.base import Topology
 from repro.utils.graph import Graph
@@ -185,3 +186,8 @@ class PolarFly(Topology):
         """``N / (k**2 + 1)`` — fraction of the diameter-2 Moore bound."""
         k = polarfly_radix(self.q)
         return polarfly_order(self.q) / (k * k + 1)
+
+
+@TOPOLOGIES.register("polarfly", example="polarfly:conc=2,q=5")
+def _polarfly_from_spec(q: int, conc: int = 0) -> PolarFly:
+    return PolarFly(q, concentration=conc)

@@ -1,0 +1,81 @@
+"""Content-addressed on-disk cache of simulation-cell results.
+
+Artifacts are small JSON documents keyed by the cell's content hash
+(:func:`repro.experiments.spec.cell_hash`), sharded into two-character
+subdirectories.  Because the key covers *everything* that determines the
+result — topology/policy/traffic specs, load, windows, buffers, and the
+derived seed — a hit can be replayed verbatim: re-running a figure only
+simulates the cells that are actually missing.
+
+Floats survive the JSON round trip exactly (``repr`` serialization), so
+cached statistics are bit-identical to freshly simulated ones.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.utils.export import read_json_artifact, write_json_artifact
+
+__all__ = ["ResultCache"]
+
+#: environment override for the default cache location
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class ResultCache:
+    """A directory of ``<hash>.json`` cell artifacts."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """``$REPRO_CACHE_DIR`` or ``~/.cache/repro/experiments``."""
+        env = os.environ.get(CACHE_DIR_ENV)
+        if env:
+            return cls(env)
+        return cls(Path.home() / ".cache" / "repro" / "experiments")
+
+    @classmethod
+    def from_env(cls) -> "ResultCache | None":
+        """The opt-in policy: a cache iff ``$REPRO_CACHE_DIR`` is set.
+
+        Benchmarks and examples use this so that results are never
+        silently persisted (and later replayed stale) without the
+        operator asking for it.
+        """
+        env = os.environ.get(CACHE_DIR_ENV)
+        return cls(env) if env else None
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> "dict | None":
+        """The cached artifact for ``key``, or None on a miss."""
+        return read_json_artifact(self.path_for(key))
+
+    def put(self, key: str, doc: dict) -> Path:
+        """Store ``doc`` under ``key``; returns the artifact path."""
+        return write_json_artifact(self.path_for(key), doc)
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for p in self.root.glob("*/*.json"):
+                p.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, entries={len(self)})"

@@ -1,0 +1,276 @@
+"""The parallel sweep runner: one engine behind every figure and script.
+
+:class:`SweepRunner` executes an :class:`~repro.experiments.spec.ExperimentSpec`
+by (1) consulting the :class:`~repro.experiments.cache.ResultCache` for
+already-simulated cells, (2) fanning the missing cells out over
+``concurrent.futures`` worker processes, and (3) assembling the per-combo
+:class:`~repro.flitsim.sweep.LoadSweep` curves callers plot or assert on.
+
+Determinism contract: a cell's result depends only on the cell record
+(spec strings + windows + derived seed), never on which worker ran it,
+in what order, or whether it came from the cache — so serial, parallel,
+and cached runs of the same spec are bit-identical.
+
+Workers rebuild topologies/policies/traffic from registry spec strings
+(cheap to ship, no pickled simulator state) and memoize the expensive
+topology + routing-table construction per process, so a sweep of many
+loads over one topology pays table construction once per worker.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.registry import POLICIES, TOPOLOGIES, TRAFFICS
+from repro.experiments.spec import ExperimentSpec
+from repro.flitsim.simulator import NetworkSimulator, SimConfig, SimResult
+from repro.flitsim.sweep import LoadSweep, SweepPoint
+
+__all__ = [
+    "SweepRunner",
+    "ExperimentResult",
+    "simulate_point",
+    "run_cell",
+    "auto_sim_config",
+]
+
+#: environment override for the default worker count
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: per-process memo: canonical topology spec -> (topology, routing tables)
+_TOPO_MEMO: dict = {}
+
+
+def auto_sim_config(
+    policy,
+    port_budget: int = 32,
+    num_vcs: "int | None" = None,
+    vc_depth: "int | None" = None,
+    packet_size: int = 4,
+) -> SimConfig:
+    """Simulator config sized for ``policy`` under a fixed port budget.
+
+    The paper's methodology: total buffering per port is constant while
+    the VC count covers the policy's worst-case hop count (deadlock
+    freedom needs ``max_hops - 1`` hop classes).  Explicit ``num_vcs`` /
+    ``vc_depth`` override either half of the derivation.
+    """
+    vcs = int(num_vcs) if num_vcs else max(4, policy.max_hops - 1)
+    depth = int(vc_depth) if vc_depth else max(2, port_budget // vcs)
+    return SimConfig(num_vcs=vcs, vc_depth=depth, packet_size=packet_size)
+
+
+def simulate_point(
+    topo,
+    policy,
+    traffic,
+    load: float,
+    config: "SimConfig | None" = None,
+    warmup: int = 600,
+    measure: int = 1200,
+    drain: int = 300,
+    seed=0,
+) -> SimResult:
+    """Run one simulation cell on already-built objects.
+
+    The single execution path for every simulation point in the repo —
+    benchmarks, examples, and cache-missing sweep cells all end here.
+    """
+    if config is None:
+        config = auto_sim_config(policy)
+    sim = NetworkSimulator(topo, policy, traffic, float(load), config=config, seed=seed)
+    return sim.run(warmup=warmup, measure=measure, drain=drain)
+
+
+def _build_cell_objects(cell: dict):
+    """(topo, policy, traffic) for a cell record, memoizing per process."""
+    from repro.routing.tables import RoutingTables
+
+    topo_spec = cell["topology"]
+    memo = _TOPO_MEMO.get(topo_spec)
+    if memo is None:
+        topo = TOPOLOGIES.create(topo_spec)
+        memo = _TOPO_MEMO[topo_spec] = (topo, RoutingTables(topo))
+    topo, tables = memo
+    policy = POLICIES.create(cell["policy"], tables)
+    traffic = TRAFFICS.create(cell["traffic"], topo)
+    return topo, policy, traffic
+
+
+def run_cell(cell: dict) -> dict:
+    """Execute one cell record and return its JSON-safe statistics.
+
+    Module-level (picklable) so :class:`ProcessPoolExecutor` can run it
+    in workers; also called inline for serial sweeps.
+    """
+    topo, policy, traffic = _build_cell_objects(cell)
+    res = simulate_point(
+        topo,
+        policy,
+        traffic,
+        cell["load"],
+        config=auto_sim_config(
+            policy,
+            port_budget=cell["port_budget"],
+            num_vcs=cell["num_vcs"],
+            vc_depth=cell["vc_depth"],
+            packet_size=cell["packet_size"],
+        ),
+        warmup=cell["warmup"],
+        measure=cell["measure"],
+        drain=cell["drain"],
+        seed=cell["seed"],
+    )
+    return {
+        "offered_load": res.offered_load,
+        "accepted_load": res.accepted_load,
+        "avg_latency": res.avg_latency,
+        "p50_latency": res.p50_latency,
+        "p99_latency": res.p99_latency,
+        "avg_hops": res.avg_hops,
+        "cycles": res.cycles,
+        "num_endpoints": res.num_endpoints,
+        "injected_flits": res.injected_flits,
+        "ejected_flits": res.ejected_flits,
+        "num_packets": int(len(res.latencies)),
+    }
+
+
+def _point_from_stats(stats: dict) -> SweepPoint:
+    return SweepPoint(
+        offered_load=stats["offered_load"],
+        avg_latency=stats["avg_latency"],
+        p99_latency=stats["p99_latency"],
+        accepted_load=stats["accepted_load"],
+        avg_hops=stats["avg_hops"],
+        p50_latency=stats["p50_latency"],
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """Assembled output of one :meth:`SweepRunner.run` invocation."""
+
+    spec: ExperimentSpec
+    sweeps: list = field(default_factory=list)
+    #: raw per-cell statistics keyed by cell hash
+    cells: dict = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def sweep(self, label: str) -> LoadSweep:
+        """The curve with ``label`` (exact match)."""
+        for s in self.sweeps:
+            if s.label == label:
+                return s
+        raise KeyError(
+            f"no sweep labelled {label!r}; have "
+            + ", ".join(repr(s.label) for s in self.sweeps)
+        )
+
+    def saturation_table(self) -> dict:
+        """label -> saturation throughput, the headline number per curve."""
+        return {s.label: s.saturation_load() for s in self.sweeps}
+
+
+class SweepRunner:
+    """Runs experiment specs with caching and process-parallel fan-out.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`ResultCache`, or ``None`` to always simulate.
+    max_workers:
+        Worker processes for cache-missing cells.  ``None`` reads
+        ``$REPRO_SWEEP_WORKERS`` (default 1 = run inline, no pool).
+    """
+
+    def __init__(self, cache: "ResultCache | None" = None, max_workers: "int | None" = None):
+        if max_workers is None:
+            max_workers = int(os.environ.get(WORKERS_ENV, "1"))
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.cache = cache
+        self.max_workers = max_workers
+
+    @classmethod
+    def with_default_cache(cls, max_workers: "int | None" = None) -> "SweepRunner":
+        return cls(cache=ResultCache.default(), max_workers=max_workers)
+
+    # ------------------------------------------------------------------
+    # Spec execution
+    # ------------------------------------------------------------------
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Execute ``spec``: cache lookups, fan-out, curve assembly."""
+        cells = spec.cells()
+        result = ExperimentResult(spec=spec)
+
+        missing = []
+        for cell in cells:
+            doc = self.cache.get(cell["key"]) if self.cache is not None else None
+            if doc is not None and doc.get("cell", {}).get("version") == cell["version"]:
+                result.cells[cell["key"]] = doc["result"]
+                result.cache_hits += 1
+            else:
+                missing.append(cell)
+
+        if missing:
+            result.cache_misses = len(missing)
+            if self.max_workers > 1 and len(missing) > 1:
+                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    stats_list = list(pool.map(run_cell, missing))
+            else:
+                stats_list = [run_cell(cell) for cell in missing]
+            for cell, stats in zip(missing, stats_list):
+                result.cells[cell["key"]] = stats
+                if self.cache is not None:
+                    self.cache.put(cell["key"], {"cell": cell, "result": stats})
+
+        # cells() is combo-major then load-major, so the precomputed list
+        # partitions into one len(loads) slice per combo — no re-hashing.
+        per_combo = len(spec.loads)
+        for i, combo in enumerate(spec.combos):
+            points = [
+                _point_from_stats(result.cells[cell["key"]])
+                for cell in cells[i * per_combo : (i + 1) * per_combo]
+            ]
+            result.sweeps.append(LoadSweep(combo.label, points))
+        return result
+
+    # ------------------------------------------------------------------
+    # Object execution (pre-built topology/policy/traffic)
+    # ------------------------------------------------------------------
+    def run_objects(
+        self,
+        topo,
+        policy,
+        traffic,
+        loads,
+        label: str = "",
+        config: "SimConfig | None" = None,
+        warmup: int = 600,
+        measure: int = 1200,
+        drain: int = 300,
+        seed=0,
+    ) -> LoadSweep:
+        """Sweep ``loads`` over already-constructed objects, inline.
+
+        The escape hatch for callers whose topology isn't expressible as
+        a registry spec (degraded fabrics, incremental expansions).  No
+        caching or multiprocessing — live objects have no content hash
+        and may not pickle — but the per-point execution path is the
+        same :func:`simulate_point` the spec path uses.
+        """
+        points = [
+            SweepPoint.from_result(
+                simulate_point(
+                    topo, policy, traffic, load, config=config,
+                    warmup=warmup, measure=measure, drain=drain, seed=seed,
+                )
+            )
+            for load in loads
+        ]
+        return LoadSweep(label or f"{topo.name}", points)

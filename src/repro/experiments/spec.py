@@ -1,0 +1,160 @@
+"""Experiment specifications: the declarative half of the sweep engine.
+
+An :class:`ExperimentSpec` names a grid of simulation *cells* — each cell
+one ``(topology, policy, traffic, load)`` point plus the simulation
+window — entirely with registry spec strings and numbers.  That makes a
+cell:
+
+* **hashable** — :func:`cell_hash` keys the on-disk result cache;
+* **portable** — a plain dict of primitives crosses process boundaries
+  without pickling live simulator objects;
+* **reproducible** — every cell's RNG seed is derived from the spec's
+  root seed and the cell's own coordinates, so results are bit-identical
+  regardless of worker count, execution order, or cache state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+
+from repro.experiments.registry import POLICIES, TOPOLOGIES, TRAFFICS
+from repro.utils.rng import derive_seed
+
+__all__ = ["Combo", "ExperimentSpec", "cell_hash", "CELL_VERSION"]
+
+#: bump to invalidate cached artifacts when cell semantics change
+CELL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Combo:
+    """One curve of a sweep: a (topology, policy, traffic) triple.
+
+    Spec strings are canonicalized on construction so equal combos
+    compare and hash equally however the caller spelled them.  ``label``
+    is presentation-only and excluded from cache keys.
+    """
+
+    topology: str
+    policy: str
+    traffic: str
+    label: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "topology", TOPOLOGIES.canonical(self.topology))
+        object.__setattr__(self, "policy", POLICIES.canonical(self.policy))
+        object.__setattr__(self, "traffic", TRAFFICS.canonical(self.traffic))
+        if not self.label:
+            object.__setattr__(
+                self, "label", f"{self.topology}|{self.policy}|{self.traffic}"
+            )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A full sweep: combos x offered loads, plus the simulation window.
+
+    ``num_vcs``/``vc_depth`` of ``None`` mean "derive from the policy":
+    enough virtual channels for the policy's worst-case hop count and a
+    per-port flit budget of ``port_budget`` split across them (the
+    paper's constant-buffer methodology).
+    """
+
+    combos: tuple = ()
+    loads: tuple = (0.2, 0.5, 0.8)
+    warmup: int = 600
+    measure: int = 1200
+    drain: int = 300
+    root_seed: int = 0
+    port_budget: int = 32
+    num_vcs: "int | None" = None
+    vc_depth: "int | None" = None
+    packet_size: int = 4
+
+    def __post_init__(self):
+        combos = tuple(
+            c if isinstance(c, Combo) else Combo(*c) for c in self.combos
+        )
+        if not combos:
+            raise ValueError("ExperimentSpec needs at least one combo")
+        object.__setattr__(self, "combos", combos)
+        loads = tuple(float(x) for x in self.loads)
+        if not loads:
+            raise ValueError("ExperimentSpec needs at least one load")
+        object.__setattr__(self, "loads", loads)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def grid(cls, topologies, policies, traffics, **kwargs) -> "ExperimentSpec":
+        """Full cross product of topology x policy x traffic specs."""
+        combos = tuple(
+            Combo(t, p, tr)
+            for t in _aslist(topologies)
+            for p in _aslist(policies)
+            for tr in _aslist(traffics)
+        )
+        return cls(combos=combos, **kwargs)
+
+    def with_(self, **changes) -> "ExperimentSpec":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Cells
+    # ------------------------------------------------------------------
+    def cell(self, combo: Combo, load: float) -> dict:
+        """The primitive-only execution record for one grid point."""
+        load = float(load)
+        cell = {
+            "version": CELL_VERSION,
+            "topology": combo.topology,
+            "policy": combo.policy,
+            "traffic": combo.traffic,
+            "load": load,
+            "warmup": int(self.warmup),
+            "measure": int(self.measure),
+            "drain": int(self.drain),
+            "port_budget": int(self.port_budget),
+            "num_vcs": self.num_vcs,
+            "vc_depth": self.vc_depth,
+            "packet_size": int(self.packet_size),
+            "seed": derive_seed(
+                self.root_seed, combo.topology, combo.policy, combo.traffic,
+                repr(load),
+            ),
+        }
+        cell["key"] = cell_hash(cell)
+        return cell
+
+    def cells(self) -> list:
+        """All cells, combo-major then load-major (deterministic order)."""
+        return [self.cell(combo, load) for combo in self.combos for load in self.loads]
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.combos)} combo(s) x {len(self.loads)} load(s) = "
+            f"{len(self.combos) * len(self.loads)} cells "
+            f"(warmup={self.warmup}, measure={self.measure}, drain={self.drain}, "
+            f"root_seed={self.root_seed})"
+        )
+
+
+def cell_hash(cell: dict) -> str:
+    """Content hash of a cell (sans presentation fields) — the cache key.
+
+    ``version`` is deliberately excluded: a :data:`CELL_VERSION` bump
+    keeps the same keys and invalidates through the runner's version
+    check, so stale artifacts are overwritten in place rather than
+    orphaned forever under dead keys.
+    """
+    doc = {k: v for k, v in cell.items() if k not in ("key", "version")}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _aslist(x):
+    return [x] if isinstance(x, str) else list(x)

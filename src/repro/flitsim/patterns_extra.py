@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.registry import TRAFFICS
 from repro.flitsim.traffic import PermutationTraffic, TrafficPattern
 from repro.topologies.base import Topology
 
@@ -81,3 +82,21 @@ class HotspotTraffic(TrafficPattern):
         d = int(rng.integers(t.size - 1))
         pos = self._pos[src_router]
         return int(t[d if d < pos else d + 1])
+
+
+# ----------------------------------------------------------------------
+# Spec registrations
+# ----------------------------------------------------------------------
+@TRAFFICS.register("bitcomp")
+def _bitcomp_from_spec(topo) -> BitComplementTraffic:
+    return BitComplementTraffic(topo)
+
+
+@TRAFFICS.register("shift", example="shift:offset=1")
+def _shift_from_spec(topo, offset: int = 1) -> ShiftTraffic:
+    return ShiftTraffic(topo, offset=offset)
+
+
+@TRAFFICS.register("hotspot", example="hotspot:fraction=0.2")
+def _hotspot_from_spec(topo, fraction: float = 0.2, hotspot: "int | None" = None) -> HotspotTraffic:
+    return HotspotTraffic(topo, fraction=fraction, hotspot=hotspot)

@@ -68,15 +68,27 @@ class SimConfig:
 
 @dataclass
 class SimResult:
-    """Steady-state measurements of one simulation run."""
+    """Steady-state measurements of one simulation run.
+
+    ``latencies``/``hop_counts`` accumulate as plain lists during the
+    run (appends are the hot path) and are packed into numpy arrays by
+    :meth:`finalize` when the run ends, so every statistic below is a
+    single vectorized reduction.
+    """
 
     offered_load: float
     cycles: int
     num_endpoints: int
     injected_flits: int = 0
     ejected_flits: int = 0
-    latencies: list = field(default_factory=list)
-    hop_counts: list = field(default_factory=list)
+    latencies: "list | np.ndarray" = field(default_factory=list)
+    hop_counts: "list | np.ndarray" = field(default_factory=list)
+
+    def finalize(self) -> "SimResult":
+        """Pack sample lists into arrays (idempotent)."""
+        self.latencies = np.asarray(self.latencies, dtype=np.float64)
+        self.hop_counts = np.asarray(self.hop_counts, dtype=np.int64)
+        return self
 
     @property
     def accepted_load(self) -> float:
@@ -86,21 +98,29 @@ class SimResult:
     @property
     def avg_latency(self) -> float:
         """Mean packet latency (cycles) over measured, delivered packets."""
-        return float(np.mean(self.latencies)) if self.latencies else float("nan")
+        lat = self.latencies
+        return float(np.mean(lat)) if len(lat) else float("nan")
+
+    def latency_percentile(self, pct: float) -> float:
+        """``pct``-th percentile packet latency (NaN with no samples)."""
+        lat = self.latencies
+        return float(np.percentile(lat, pct)) if len(lat) else float("nan")
+
+    @property
+    def p50_latency(self) -> float:
+        """Median packet latency."""
+        return self.latency_percentile(50)
 
     @property
     def p99_latency(self) -> float:
         """99th-percentile packet latency."""
-        return (
-            float(np.percentile(self.latencies, 99))
-            if self.latencies
-            else float("nan")
-        )
+        return self.latency_percentile(99)
 
     @property
     def avg_hops(self) -> float:
         """Mean route length of measured packets."""
-        return float(np.mean(self.hop_counts)) if self.hop_counts else float("nan")
+        hops = self.hop_counts
+        return float(np.mean(hops)) if len(hops) else float("nan")
 
     @property
     def saturated(self) -> bool:
@@ -397,5 +417,5 @@ class NetworkSimulator:
             for _ in range(drain):
                 self.step()
             self.load = saved_load
-        self.result = self._stat
+        self.result = self._stat.finalize()
         return self._stat

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.flitsim.simulator import NetworkSimulator, SimConfig, SimResult
+from repro.flitsim.simulator import SimConfig, SimResult
 from repro.flitsim.traffic import TrafficPattern
 from repro.routing.policies import RoutingPolicy
 from repro.topologies.base import Topology
@@ -28,6 +28,7 @@ class SweepPoint:
     p99_latency: float
     accepted_load: float
     avg_hops: float
+    p50_latency: float = float("nan")
 
     @classmethod
     def from_result(cls, res: SimResult) -> "SweepPoint":
@@ -37,6 +38,7 @@ class SweepPoint:
             p99_latency=res.p99_latency,
             accepted_load=res.accepted_load,
             avg_hops=res.avg_hops,
+            p50_latency=res.p50_latency,
         )
 
 
@@ -60,11 +62,7 @@ class LoadSweep:
         return np.array([p.accepted_load for p in self.points])
 
     def saturation_load(self, efficiency: float = 0.95) -> float:
-        """Highest offered load still accepted at >= ``efficiency``.
-
-        Returns the *accepted* load at that point — the paper's saturation
-        throughput metric.
-        """
+        """The curve's saturation throughput (see :func:`saturation_load`)."""
         return saturation_load(self.points, efficiency)
 
     def rows(self) -> list[dict]:
@@ -81,14 +79,16 @@ class LoadSweep:
 
 
 def saturation_load(points, efficiency: float = 0.95) -> float:
-    """Accepted load of the last point with accepted >= efficiency * offered."""
-    best = 0.0
-    for p in points:
-        if p.offered_load > 0 and p.accepted_load >= efficiency * p.offered_load:
-            best = max(best, p.accepted_load)
-        else:
-            best = max(best, p.accepted_load)  # past saturation: plateau value
-    return best
+    """The plateau (maximum) of accepted load over the sweep.
+
+    This is the paper's saturation-throughput metric: below saturation
+    accepted tracks offered, past it accepted flattens at the plateau,
+    so the maximum accepted load IS the saturation throughput.
+    ``efficiency`` is retained for backward compatibility but does not
+    affect the result (historically it never did — the pre/post
+    saturation branches computed the same maximum).
+    """
+    return max((p.accepted_load for p in points), default=0.0)
 
 
 def run_load_sweep(
@@ -103,12 +103,18 @@ def run_load_sweep(
     drain: int = 300,
     seed=0,
 ) -> LoadSweep:
-    """Simulate every load in ``loads`` and return the resulting curve."""
-    points = []
-    for load in loads:
-        sim = NetworkSimulator(
-            topo, policy, traffic, float(load), config=config, seed=seed
-        )
-        res = sim.run(warmup=warmup, measure=measure, drain=drain)
-        points.append(SweepPoint.from_result(res))
-    return LoadSweep(label or f"{topo.name}", points)
+    """Simulate every load in ``loads`` and return the resulting curve.
+
+    Compatibility wrapper over the shared sweep engine
+    (:class:`repro.experiments.runner.SweepRunner`), for callers holding
+    already-built objects.  Spec-string callers should build an
+    :class:`~repro.experiments.spec.ExperimentSpec` instead and gain
+    caching and process-parallel execution.
+    """
+    # Imported lazily: experiments sits above flitsim in the layering.
+    from repro.experiments.runner import SweepRunner
+
+    return SweepRunner().run_objects(
+        topo, policy, traffic, loads, label=label, config=config,
+        warmup=warmup, measure=measure, drain=drain, seed=seed,
+    )

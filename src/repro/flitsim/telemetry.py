@@ -114,5 +114,5 @@ def run_with_telemetry(
     telemetry.mean_occupancy = {
         k: s / max(samples, 1) for k, s in occupancy_sum.items()
     }
-    sim.result = sim._stat
+    sim.result = sim._stat.finalize()
     return sim._stat, telemetry

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.registry import TRAFFICS
 from repro.topologies.base import Topology
 from repro.utils.rng import make_rng
 
@@ -201,3 +202,31 @@ class TwoHopPermutationTraffic(PermutationTraffic):
 
     def __init__(self, topo: Topology, seed=0):
         super().__init__(topo, two_hop_permutation(topo, seed))
+
+
+# ----------------------------------------------------------------------
+# Spec registrations — factories take (topo, **spec kwargs)
+# ----------------------------------------------------------------------
+@TRAFFICS.register("uniform")
+def _uniform_from_spec(topo) -> UniformTraffic:
+    return UniformTraffic(topo)
+
+
+@TRAFFICS.register("tornado")
+def _tornado_from_spec(topo) -> TornadoTraffic:
+    return TornadoTraffic(topo)
+
+
+@TRAFFICS.register("randperm", example="randperm:seed=3")
+def _randperm_from_spec(topo, seed: int = 0) -> RandomPermutationTraffic:
+    return RandomPermutationTraffic(topo, seed=seed)
+
+
+@TRAFFICS.register("perm1hop", example="perm1hop:seed=1")
+def _perm1hop_from_spec(topo, seed: int = 0) -> OneHopPermutationTraffic:
+    return OneHopPermutationTraffic(topo, seed=seed)
+
+
+@TRAFFICS.register("perm2hop", example="perm2hop:seed=1")
+def _perm2hop_from_spec(topo, seed: int = 0) -> TwoHopPermutationTraffic:
+    return TwoHopPermutationTraffic(topo, seed=seed)

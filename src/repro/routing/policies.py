@@ -29,6 +29,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.experiments.registry import POLICIES
 from repro.routing.tables import RoutingTables
 from repro.topologies.fattree import FatTree
 from repro.utils.rng import make_rng
@@ -276,3 +277,41 @@ class FatTreeNCARouting(RoutingPolicy):
             cur = int(downs[0])
             path.append(cur)
         return path
+
+
+# ----------------------------------------------------------------------
+# Spec registrations — factories take (tables, **spec kwargs)
+# ----------------------------------------------------------------------
+@POLICIES.register("min")
+def _min_from_spec(tables) -> MinimalRouting:
+    return MinimalRouting(tables)
+
+
+@POLICIES.register("valiant")
+def _valiant_from_spec(tables) -> ValiantRouting:
+    return ValiantRouting(tables)
+
+
+@POLICIES.register("compact-valiant")
+def _compact_valiant_from_spec(tables) -> CompactValiantRouting:
+    return CompactValiantRouting(tables)
+
+
+@POLICIES.register("ugal", example="ugal:bias=1")
+def _ugal_from_spec(tables, bias: int = 1) -> UGALRouting:
+    return UGALRouting(tables, bias=bias)
+
+
+@POLICIES.register("ugal-g", example="ugal-g:bias=1")
+def _ugal_g_from_spec(tables, bias: int = 1) -> UGALGRouting:
+    return UGALGRouting(tables, bias=bias)
+
+
+@POLICIES.register("ugal-pf", example="ugal-pf:bias=1,threshold=0.5")
+def _ugal_pf_from_spec(tables, threshold: float = 2.0 / 3.0, bias: int = 1) -> UGALPFRouting:
+    return UGALPFRouting(tables, threshold=threshold, bias=bias)
+
+
+@POLICIES.register("ftnca")
+def _ftnca_from_spec(tables) -> FatTreeNCARouting:
+    return FatTreeNCARouting(tables)

@@ -20,6 +20,7 @@ global slot ``s`` (0-based, owned by router ``s // h``) connects to group
 
 from __future__ import annotations
 
+from repro.experiments.registry import TOPOLOGIES
 from repro.topologies.base import Topology
 from repro.utils.graph import Graph
 
@@ -78,3 +79,8 @@ class Dragonfly(Topology):
 def balanced_dragonfly(h: int) -> Dragonfly:
     """The balanced configuration ``a = 2h, p = h`` for a given ``h``."""
     return Dragonfly(a=2 * h, h=h, p=h)
+
+
+@TOPOLOGIES.register("dragonfly", example="dragonfly:a=4,h=2,p=2")
+def _dragonfly_from_spec(a: int, h: int, p: int = 0) -> Dragonfly:
+    return Dragonfly(a=a, h=h, p=p)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.registry import TOPOLOGIES
 from repro.topologies.base import Topology
 from repro.utils.graph import Graph
 
@@ -113,3 +114,8 @@ class FatTree(Topology):
             if a[: n - 1 - level] == b[: n - 1 - level]:
                 return level
         return n - 1
+
+
+@TOPOLOGIES.register("fattree", example="fattree:k=4,n=3")
+def _fattree_from_spec(k: int, n: int = 3) -> FatTree:
+    return FatTree(k=k, n=n)

@@ -9,6 +9,7 @@ in Figure 2 (with ``N = S**2`` and ``k = 2(S-1)``).
 
 from __future__ import annotations
 
+from repro.experiments.registry import TOPOLOGIES
 from repro.topologies.base import Topology
 from repro.utils.graph import Graph
 
@@ -73,3 +74,8 @@ class HyperX(Topology):
                     edges.append((u, self.router_id(coords)))
                 coords[dim] = orig
         return Graph(n, edges)
+
+
+@TOPOLOGIES.register("hyperx", example="hyperx:L=2,S=3,p=1")
+def _hyperx_from_spec(L: int, S: int, p: int = 0) -> HyperX:
+    return HyperX(L=L, S=S, p=p)

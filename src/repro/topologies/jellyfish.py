@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.registry import TOPOLOGIES
 from repro.topologies.base import Topology
 from repro.utils.graph import Graph
 from repro.utils.rng import make_rng
@@ -102,3 +103,8 @@ class Jellyfish(Topology):
         graph = random_regular_graph(n, r, rng=make_rng(seed))
         super().__init__(f"JF(n={n},r={r})", graph, p)
         self.seed = seed
+
+
+@TOPOLOGIES.register("jellyfish", example="jellyfish:n=25,p=2,r=4,seed=7")
+def _jellyfish_from_spec(n: int, r: int, p: int = 0, seed: int = 4242) -> Jellyfish:
+    return Jellyfish(n=n, r=r, p=p, seed=seed)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from itertools import combinations
 
+from repro.experiments.registry import TOPOLOGIES
 from repro.topologies.base import Topology
 from repro.utils.graph import Graph
 
@@ -93,3 +94,13 @@ class HoffmanSingletonTopology(Topology):
 
     def __init__(self, p: int = 0):
         super().__init__("Hoffman-Singleton", hoffman_singleton_graph(), p)
+
+
+@TOPOLOGIES.register("petersen", example="petersen:p=2")
+def _petersen_from_spec(p: int = 0) -> PetersenTopology:
+    return PetersenTopology(p=p)
+
+
+@TOPOLOGIES.register("hoffman-singleton", example="hoffman-singleton:p=2")
+def _hoffman_singleton_from_spec(p: int = 0) -> HoffmanSingletonTopology:
+    return HoffmanSingletonTopology(p=p)

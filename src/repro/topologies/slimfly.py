@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.experiments.registry import TOPOLOGIES
 from repro.fields import GF, is_prime_power
 from repro.topologies.base import Topology
 from repro.utils.graph import Graph
@@ -223,3 +224,8 @@ class SlimFly(Topology):
         """``N / (k**2 + 1)`` — about 8/9 asymptotically."""
         k = slimfly_radix(self.q)
         return slimfly_order(self.q) / (k * k + 1)
+
+
+@TOPOLOGIES.register("slimfly", example="slimfly:conc=2,q=5")
+def _slimfly_from_spec(q: int, conc: int = 0) -> SlimFly:
+    return SlimFly(q, concentration=conc)

@@ -5,17 +5,25 @@ subpackage — topology construction, routing, the flit simulator, and the
 structural analyses — can share one graph representation and one RNG policy.
 """
 
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, derive_seed
 from repro.utils.graph import Graph
 from repro.utils.validation import (
     check_positive_int,
     check_probability,
     check_in_range,
 )
-from repro.utils.export import to_edge_list, to_dot, to_json, cabling_manifest
+from repro.utils.export import (
+    to_edge_list,
+    to_dot,
+    to_json,
+    cabling_manifest,
+    write_json_artifact,
+    read_json_artifact,
+)
 
 __all__ = [
     "make_rng",
+    "derive_seed",
     "Graph",
     "check_positive_int",
     "check_probability",
@@ -24,4 +32,6 @@ __all__ = [
     "to_dot",
     "to_json",
     "cabling_manifest",
+    "write_json_artifact",
+    "read_json_artifact",
 ]

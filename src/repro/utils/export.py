@@ -9,8 +9,17 @@ manifest matching the paper's modular deployment story (Section V).
 from __future__ import annotations
 
 import json
+import os
+from pathlib import Path
 
-__all__ = ["to_edge_list", "to_dot", "to_json", "cabling_manifest"]
+__all__ = [
+    "to_edge_list",
+    "to_dot",
+    "to_json",
+    "cabling_manifest",
+    "write_json_artifact",
+    "read_json_artifact",
+]
 
 # NOTE: this module deliberately avoids importing repro.topologies —
 # utils must stay import-cycle-free since the topology layer builds on it.
@@ -43,6 +52,34 @@ def to_json(topo) -> str:
         "edges": topo.graph.edges().tolist(),
     }
     return json.dumps(doc, indent=2)
+
+
+def write_json_artifact(path, doc: dict) -> Path:
+    """Atomically write ``doc`` as JSON to ``path``, creating parents.
+
+    Write-then-rename so a crashed or concurrent writer can never leave a
+    half-written artifact for a reader (the experiment result cache reads
+    and writes these from parallel sweep workers).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+    return path
+
+
+def read_json_artifact(path) -> "dict | None":
+    """Load a JSON artifact; ``None`` if missing or unparsable.
+
+    Corrupt artifacts (interrupted writes predating the atomic-rename
+    discipline, disk faults) are treated as cache misses, not errors.
+    """
+    path = Path(path)
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
 
 
 def cabling_manifest(layout) -> dict:

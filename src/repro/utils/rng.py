@@ -8,9 +8,11 @@ same traffic pattern, the same Jellyfish wiring, and the same failure sweep.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
-__all__ = ["make_rng"]
+__all__ = ["make_rng", "derive_seed"]
 
 
 def make_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
@@ -25,3 +27,18 @@ def make_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def derive_seed(root_seed: int, *parts) -> int:
+    """A deterministic child seed for ``(root_seed, *parts)``.
+
+    Hashes the root seed together with any identifying strings/numbers
+    (sweep-cell coordinates, replica index, ...) into a 63-bit integer.
+    Unlike ``root_seed + i`` schemes this cannot collide across
+    dimensions, and it is stable across processes and platforms — the
+    property the parallel sweep runner relies on for worker-count
+    independence.
+    """
+    text = "\x1f".join(str(p) for p in (root_seed, *parts))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") >> 1

@@ -1,0 +1,198 @@
+"""The sweep engine's contracts: deterministic seeding, cache round
+trips, worker-count independence, and the object escape hatch."""
+
+import math
+
+import pytest
+
+from repro.core import PolarFly
+from repro.experiments import (
+    Combo,
+    ExperimentSpec,
+    ResultCache,
+    SweepRunner,
+    cell_hash,
+)
+from repro.experiments.runner import auto_sim_config, run_cell
+from repro.flitsim import UniformTraffic
+from repro.routing import MinimalRouting, RoutingTables
+from repro.utils.rng import derive_seed
+
+FAST = dict(warmup=80, measure=160, drain=40)
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(
+        loads=(0.2, 0.6),
+        root_seed=7,
+        **FAST,
+    )
+    kwargs.update(overrides)
+    return ExperimentSpec.grid(
+        ["polarfly:conc=2,q=5"], ["min", "ugal-pf"], ["uniform"], **kwargs
+    )
+
+
+class TestSpec:
+    def test_grid_cross_product(self):
+        spec = ExperimentSpec.grid(
+            ["polarfly:conc=2,q=5", "petersen:p=2"], ["min"], ["uniform", "tornado"],
+            loads=(0.5,),
+        )
+        assert len(spec.combos) == 4
+        assert len(spec.cells()) == 4
+
+    def test_combo_canonicalizes_and_labels(self):
+        c = Combo("polarfly:q=5,conc=2", "min", "uniform")
+        assert c.topology == "polarfly:conc=2,q=5"
+        assert c.label == "polarfly:conc=2,q=5|min|uniform"
+        assert Combo("polarfly:conc=2,q=5", "min", "uniform", label="PF") .label == "PF"
+
+    def test_cell_hash_ignores_label_and_key_order(self):
+        a = tiny_spec().cell(Combo("polarfly:q=5,conc=2", "min", "uniform", label="x"), 0.2)
+        b = tiny_spec().cell(Combo("polarfly:conc=2,q=5", "min", "uniform", label="y"), 0.2)
+        assert a["key"] == b["key"]
+
+    def test_cell_hash_sensitive_to_content(self):
+        spec = tiny_spec()
+        combo = spec.combos[0]
+        assert spec.cell(combo, 0.2)["key"] != spec.cell(combo, 0.6)["key"]
+        assert (
+            spec.cell(combo, 0.2)["key"]
+            != spec.with_(root_seed=8).cell(combo, 0.2)["key"]
+        )
+        doc = {k: v for k, v in spec.cell(combo, 0.2).items() if k != "key"}
+        assert cell_hash(doc) == spec.cell(combo, 0.2)["key"]
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(combos=(), loads=(0.5,))
+        with pytest.raises(ValueError):
+            tiny_spec(loads=())
+
+
+class TestDerivedSeeds:
+    def test_deterministic_and_distinct(self):
+        s1 = derive_seed(7, "a", "b", 0.2)
+        assert s1 == derive_seed(7, "a", "b", 0.2)
+        assert s1 != derive_seed(8, "a", "b", 0.2)
+        assert s1 != derive_seed(7, "a", "b", 0.6)
+        assert derive_seed(7, "ab") != derive_seed(7, "a", "b")
+        assert 0 <= s1 < 2**63
+
+    def test_cells_get_distinct_seeds(self):
+        seeds = [c["seed"] for c in tiny_spec().cells()]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return SweepRunner(cache=None, max_workers=1).run(tiny_spec())
+
+    def test_shapes_and_labels(self, serial_result):
+        assert len(serial_result.sweeps) == 2
+        for sweep in serial_result.sweeps:
+            assert len(sweep.points) == 2
+            for pt in sweep.points:
+                assert 0 < pt.accepted_load <= 1.0
+                assert pt.p50_latency <= pt.p99_latency
+        assert serial_result.cache_misses == 4
+        with pytest.raises(KeyError):
+            serial_result.sweep("nope")
+
+    def test_cache_round_trip_bit_identical(self, tmp_path, serial_result):
+        cache = ResultCache(tmp_path / "cache")
+        r1 = SweepRunner(cache=cache).run(tiny_spec())
+        assert (r1.cache_hits, r1.cache_misses) == (0, 4)
+        assert len(cache) == 4
+        r2 = SweepRunner(cache=ResultCache(tmp_path / "cache")).run(tiny_spec())
+        assert (r2.cache_hits, r2.cache_misses) == (4, 0)
+        for s1, s2 in zip(r1.sweeps, r2.sweeps):
+            assert s1.label == s2.label
+            assert s1.points == s2.points  # bit-identical floats
+        # cache or no cache, same numbers
+        for s1, s2 in zip(serial_result.sweeps, r1.sweeps):
+            assert s1.points == s2.points
+
+    def test_partial_cache_simulates_only_missing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        small = tiny_spec(loads=(0.2,))
+        SweepRunner(cache=cache).run(small)
+        full = SweepRunner(cache=cache).run(tiny_spec())
+        assert full.cache_hits == 2  # the 0.2 cells of both combos
+        assert full.cache_misses == 2
+
+    def test_version_bump_invalidates_in_place(self, tmp_path):
+        import json
+
+        cache = ResultCache(tmp_path)
+        small = tiny_spec(loads=(0.2,))
+        SweepRunner(cache=cache).run(small)
+        # same key, older cell version -> treated as a miss and overwritten
+        for p in cache.root.glob("*/*.json"):
+            doc = json.loads(p.read_text())
+            doc["cell"]["version"] = -1
+            p.write_text(json.dumps(doc))
+        r = SweepRunner(cache=cache).run(small)
+        assert r.cache_misses == len(small.cells())
+        r2 = SweepRunner(cache=cache).run(small)
+        assert r2.cache_hits == len(small.cells())
+
+    def test_corrupt_artifact_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        small = tiny_spec(loads=(0.2,))
+        r1 = SweepRunner(cache=cache).run(small)
+        for p in cache.root.glob("*/*.json"):
+            p.write_text("{not json")
+        r2 = SweepRunner(cache=cache).run(small)
+        assert r2.cache_misses == len(small.cells())
+        for s1, s2 in zip(r1.sweeps, r2.sweeps):
+            assert s1.points == s2.points
+
+    def test_multi_worker_matches_serial(self, serial_result):
+        parallel = SweepRunner(cache=None, max_workers=2).run(tiny_spec())
+        for s1, s2 in zip(serial_result.sweeps, parallel.sweeps):
+            assert s1.label == s2.label
+            assert s1.points == s2.points
+
+    def test_run_cell_executable_standalone(self):
+        cell = tiny_spec().cells()[0]
+        stats = run_cell(cell)
+        assert stats["offered_load"] == 0.2
+        assert math.isfinite(stats["avg_latency"])
+        assert stats == run_cell(dict(cell))  # pure function of the record
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            SweepRunner(max_workers=0)
+
+
+class TestObjectPath:
+    def test_run_objects_matches_run_load_sweep(self):
+        from repro.flitsim import run_load_sweep
+
+        pf = PolarFly(5, concentration=2)
+        tables = RoutingTables(pf)
+        args = dict(loads=(0.3,), warmup=80, measure=160, drain=40, seed=3)
+        a = SweepRunner().run_objects(
+            pf, MinimalRouting(tables), UniformTraffic(pf), **args
+        )
+        b = run_load_sweep(
+            pf, MinimalRouting(tables), UniformTraffic(pf),
+            config=auto_sim_config(MinimalRouting(tables)), **args,
+        )
+        assert a.points == b.points
+        assert a.label == "PF(q=5)"
+
+
+class TestAutoConfig:
+    def test_budget_split(self):
+        pf = PolarFly(5, concentration=2)
+        policy = MinimalRouting(RoutingTables(pf))
+        cfg = auto_sim_config(policy, port_budget=32)
+        assert cfg.num_vcs == 4 and cfg.vc_depth == 8
+        cfg = auto_sim_config(policy, num_vcs=6)
+        assert cfg.num_vcs == 6 and cfg.vc_depth == 5
+        cfg = auto_sim_config(policy, num_vcs=4, vc_depth=2)
+        assert (cfg.num_vcs, cfg.vc_depth) == (4, 2)

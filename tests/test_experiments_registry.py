@@ -1,0 +1,119 @@
+"""Registry round-trips: every registered spec parses, builds, and
+re-serializes to itself; unknown/malformed specs fail loudly."""
+
+import pytest
+
+from repro.core import PolarFly
+from repro.experiments import POLICIES, TOPOLOGIES, TRAFFICS, Registry
+from repro.routing import RoutingTables
+from repro.topologies.base import Topology
+
+
+@pytest.fixture(scope="module")
+def pf_tables():
+    return RoutingTables(PolarFly(5, concentration=2))
+
+
+ALL_REGISTRIES = [TOPOLOGIES, POLICIES, TRAFFICS]
+
+
+class TestRoundTrip:
+    """The ISSUE contract: registered examples are canonical fixed points."""
+
+    @pytest.mark.parametrize("registry", ALL_REGISTRIES, ids=lambda r: r.kind)
+    def test_examples_are_canonical(self, registry):
+        assert registry.names(), "registry must not be empty"
+        for name in registry.names():
+            example = registry.example(name)
+            parsed_name, kwargs = registry.parse(example)
+            assert parsed_name == name
+            assert isinstance(kwargs, dict)
+            # canonical form is a fixed point
+            assert registry.canonical(example) == example
+            assert registry.canonical(registry.canonical(example)) == example
+
+    def test_canonical_sorts_keys(self):
+        assert (
+            TOPOLOGIES.canonical("polarfly:q=5,conc=2")
+            == TOPOLOGIES.canonical("polarfly:conc=2,q=5")
+            == "polarfly:conc=2,q=5"
+        )
+
+    def test_every_topology_example_constructs(self):
+        for name in TOPOLOGIES.names():
+            topo = TOPOLOGIES.create(TOPOLOGIES.example(name))
+            assert isinstance(topo, Topology), name
+            assert topo.num_routers > 0, name
+
+    def test_every_policy_example_constructs(self, pf_tables):
+        for name in POLICIES.names():
+            if name == "ftnca":  # needs a FatTree, not a PolarFly
+                continue
+            policy = POLICIES.create(POLICIES.example(name), pf_tables)
+            assert policy.max_hops >= 1, name
+
+    def test_ftnca_constructs_on_fattree(self):
+        ft = TOPOLOGIES.create("fattree:k=4,n=3")
+        policy = POLICIES.create("ftnca", RoutingTables(ft))
+        assert policy.max_hops == 4
+
+    def test_every_traffic_example_constructs(self):
+        pf = PolarFly(5, concentration=2)
+        for name in TRAFFICS.names():
+            traffic = TRAFFICS.create(TRAFFICS.example(name), pf)
+            assert hasattr(traffic, "dest_router"), name
+
+
+class TestErrors:
+    def test_unknown_name_raises_keyerror_naming_choices(self):
+        with pytest.raises(KeyError, match="polarfly"):
+            TOPOLOGIES.parse("polarflea:q=7")
+        with pytest.raises(KeyError, match="valid choices"):
+            POLICIES.parse("ospf")
+        with pytest.raises(KeyError, match="uniform"):
+            TRAFFICS.create("uniformish", None)
+
+    def test_malformed_spec(self):
+        with pytest.raises(ValueError, match="key=value"):
+            TOPOLOGIES.parse("polarfly:q")
+        with pytest.raises(ValueError, match="duplicate key"):
+            TOPOLOGIES.parse("polarfly:q=5,q=7")
+        with pytest.raises(ValueError):
+            TOPOLOGIES.parse("")
+
+    def test_bad_arguments_name_the_spec(self):
+        with pytest.raises(TypeError, match="polarfly"):
+            TOPOLOGIES.create("polarfly:bogus=1,q=5")
+
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("thing")
+        reg.register("x")(lambda: None)
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.register("x")(lambda: None)
+
+    def test_reserved_chars_rejected_in_names(self):
+        reg = Registry("thing")
+        with pytest.raises(ValueError):
+            reg.register("a:b")
+
+
+class TestValueParsing:
+    def test_typed_values(self):
+        reg = Registry("thing")
+
+        @reg.register("probe")
+        def probe(**kw):
+            return kw
+
+        got = reg.create("probe:a=1,b=2.5,c=true,d=false,e=text")
+        assert got == {"a": 1, "b": 2.5, "c": True, "d": False, "e": "text"}
+        assert isinstance(got["a"], int) and not isinstance(got["a"], bool)
+
+    def test_extra_kwargs_override_spec(self):
+        assert TOPOLOGIES.create("polarfly:conc=2,q=5", q=7).num_routers == 57
+
+    def test_spec_kwargs_reach_constructor(self):
+        jf = TOPOLOGIES.create("jellyfish:n=20,p=1,r=4,seed=9")
+        assert jf.num_routers == 20
+        assert jf.seed == 9
+        assert int(jf.concentration[0]) == 1

@@ -153,12 +153,13 @@ class TestDeterminism:
         r1 = quick(NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.3, seed=42))
         r2 = quick(NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.3, seed=42))
         assert r1.ejected_flits == r2.ejected_flits
-        assert r1.latencies == r2.latencies
+        # latencies are numpy arrays after SimResult.finalize()
+        assert np.array_equal(r1.latencies, r2.latencies)
 
     def test_different_seeds_differ(self, pf, minimal):
         r1 = quick(NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.3, seed=1))
         r2 = quick(NetworkSimulator(pf, minimal, UniformTraffic(pf), 0.3, seed=2))
-        assert r1.latencies != r2.latencies
+        assert not np.array_equal(r1.latencies, r2.latencies)
 
 
 class TestCongestionView:

@@ -89,5 +89,5 @@ def test_latency_samples_deterministic_per_seed(seed):
         return sim.run(warmup=50, measure=150, drain=400)
 
     a, b = one_run(), one_run()
-    assert a.latencies == b.latencies
+    assert np.array_equal(a.latencies, b.latencies)
     assert a.ejected_flits == b.ejected_flits
