@@ -1,0 +1,31 @@
+"""Perf smoke: time both engines on the canonical cells, write the baseline.
+
+Not a pytest module (no ``test_`` prefix) — run it directly:
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py
+
+Times the struct-of-arrays flat engine against the reference engine on
+the canonical cells (Figure-9 PolarFly q=7 UGAL_PF, Dragonfly minimal
+adversarial) and writes ``BENCH_flitsim.json``.  ``tools/bench.py`` is
+the CLI wrapper with knobs and a CI ``--check`` gate.
+"""
+
+from repro.experiments.perfbench import run_benchmarks, write_bench_json
+
+
+def main() -> dict:
+    doc = run_benchmarks()
+    path = write_bench_json(doc)
+    for name, cell in doc["cells"].items():
+        ref = cell["engines"]["reference"]["cycles_per_sec"]
+        flat = cell["engines"]["flat"]["cycles_per_sec"]
+        print(
+            f"{name:28s} reference {ref:9.0f} c/s   flat {flat:9.0f} c/s   "
+            f"speedup {cell['speedup_flat_over_reference']:.2f}x"
+        )
+    print(f"wrote {path}")
+    return doc
+
+
+if __name__ == "__main__":
+    main()

@@ -64,9 +64,11 @@ from repro.routing import (
     reroute_after_failures,
 )
 from repro.flitsim import (
+    FlatSimulator,
     NetworkSimulator,
     SimConfig,
     SimResult,
+    make_simulator,
     UniformTraffic,
     TornadoTraffic,
     RandomPermutationTraffic,
@@ -119,7 +121,9 @@ __all__ = [
     "AlgebraicMinimalRouting",
     "degraded_topology",
     "reroute_after_failures",
+    "FlatSimulator",
     "NetworkSimulator",
+    "make_simulator",
     "SimConfig",
     "SimResult",
     "UniformTraffic",

@@ -1,0 +1,139 @@
+"""Engine performance harness: the repo's perf-baseline trajectory.
+
+Times both simulation engines (the struct-of-arrays flat core and the
+dict-of-deques reference) on a small set of canonical cells and writes
+``BENCH_flitsim.json`` — cycles/sec per engine, wall times, speedups,
+and machine info — so every future hot-path change is measured against
+a recorded baseline instead of asserted.
+
+Used by ``benchmarks/perf_smoke.py`` (pytest-free script), ``tools/bench.py``
+(CLI with a ``--check`` gate for CI), and importable directly.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+
+import numpy as np
+
+from repro.experiments.registry import POLICIES, TOPOLOGIES, TRAFFICS
+from repro.experiments.runner import auto_sim_config
+from repro.flitsim.engine import make_simulator
+
+__all__ = [
+    "CANONICAL_CELLS",
+    "HEADLINE_CELL",
+    "bench_cell",
+    "run_benchmarks",
+    "machine_info",
+    "write_bench_json",
+]
+
+#: The canonical perf cells.  ``fig09_pf_ugalpf_uniform`` is the
+#: headline: the Figure-9 PolarFly q=7 UGAL_PF configuration whose
+#: sweeps bottleneck every adaptive-routing figure.
+CANONICAL_CELLS = {
+    "fig09_pf_ugalpf_uniform": dict(
+        topology="polarfly:conc=2,q=7", policy="ugal-pf", traffic="uniform",
+        load=0.5,
+    ),
+    "fig09_pf_ugalpf_perm1hop": dict(
+        topology="polarfly:conc=2,q=7", policy="ugal-pf",
+        traffic="perm1hop:seed=1", load=0.6,
+    ),
+    "df_min_adversarial": dict(
+        topology="dragonfly:a=4,h=2,p=2", policy="min", traffic="tornado",
+        load=0.7,
+    ),
+}
+
+HEADLINE_CELL = "fig09_pf_ugalpf_uniform"
+
+
+def machine_info() -> dict:
+    """Environment fingerprint recorded next to every measurement."""
+    from repro.flitsim._kernel import load_kernel
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "processor": platform.processor() or platform.machine(),
+        "flat_kernel": load_kernel() is not None,
+    }
+
+
+def bench_cell(
+    cell: dict,
+    warmup: int = 150,
+    measure: int = 400,
+    seed: int = 1,
+    engines=("reference", "flat"),
+) -> dict:
+    """Time ``warmup + measure`` simulated cycles per engine on one cell.
+
+    Objects are built once per engine run (fresh simulator each time,
+    same seed — the engines are result-equivalent, so both time the
+    exact same simulated work).  Returns per-engine wall/cycles-per-sec
+    plus the flat-over-reference speedup.
+    """
+    from repro.routing.tables import RoutingTables
+
+    topo = TOPOLOGIES.create(cell["topology"])
+    tables = RoutingTables(topo)
+    policy = POLICIES.create(cell["policy"], tables)
+    traffic = TRAFFICS.create(cell["traffic"], topo)
+    config = auto_sim_config(policy)
+    cycles = warmup + measure
+    result: dict = {"cell": dict(cell), "cycles": cycles, "engines": {}}
+    for engine in engines:
+        sim = make_simulator(
+            topo, policy, traffic, cell["load"], config=config, seed=seed,
+            engine=engine,
+        )
+        start = time.perf_counter()
+        for _ in range(cycles):
+            sim.step()
+        wall = time.perf_counter() - start
+        result["engines"][engine] = {
+            "wall_s": wall,
+            "cycles_per_sec": cycles / wall,
+        }
+    eng = result["engines"]
+    if "reference" in eng and "flat" in eng:
+        result["speedup_flat_over_reference"] = (
+            eng["flat"]["cycles_per_sec"] / eng["reference"]["cycles_per_sec"]
+        )
+    return result
+
+
+def run_benchmarks(
+    cells: "dict | None" = None,
+    warmup: int = 150,
+    measure: int = 400,
+    seed: int = 1,
+    engines=("reference", "flat"),
+) -> dict:
+    """Run every cell and assemble the ``BENCH_flitsim.json`` document."""
+    cells = CANONICAL_CELLS if cells is None else cells
+    doc = {
+        "benchmark": "flitsim-engine",
+        "machine": machine_info(),
+        "warmup": warmup,
+        "measure": measure,
+        "seed": seed,
+        "cells": {},
+    }
+    for name, cell in cells.items():
+        doc["cells"][name] = bench_cell(
+            cell, warmup=warmup, measure=measure, seed=seed, engines=engines
+        )
+    return doc
+
+
+def write_bench_json(doc: dict, path="BENCH_flitsim.json"):
+    """Atomically write the benchmark document."""
+    from repro.utils.export import write_json_artifact
+
+    return write_json_artifact(path, doc)

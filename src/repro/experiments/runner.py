@@ -26,7 +26,13 @@ from dataclasses import dataclass, field
 from repro.experiments.cache import ResultCache
 from repro.experiments.registry import POLICIES, TOPOLOGIES, TRAFFICS
 from repro.experiments.spec import ExperimentSpec
-from repro.flitsim.simulator import NetworkSimulator, SimConfig, SimResult
+from repro.flitsim.engine import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV,
+    SimConfig,
+    SimResult,
+    make_simulator,
+)
 from repro.flitsim.sweep import LoadSweep, SweepPoint
 
 __all__ = [
@@ -73,15 +79,21 @@ def simulate_point(
     measure: int = 1200,
     drain: int = 300,
     seed=0,
+    engine: "str | None" = None,
 ) -> SimResult:
     """Run one simulation cell on already-built objects.
 
     The single execution path for every simulation point in the repo —
     benchmarks, examples, and cache-missing sweep cells all end here.
+    ``engine`` of ``None`` selects the struct-of-arrays flat engine
+    unless ``$REPRO_SIM_ENGINE`` overrides it; the two engines are
+    result-equivalent, so cached artifacts are engine-agnostic.
     """
     if config is None:
         config = auto_sim_config(policy)
-    sim = NetworkSimulator(topo, policy, traffic, float(load), config=config, seed=seed)
+    sim = make_simulator(
+        topo, policy, traffic, float(load), config=config, seed=seed, engine=engine
+    )
     return sim.run(warmup=warmup, measure=measure, drain=drain)
 
 
@@ -94,6 +106,14 @@ def _build_cell_objects(cell: dict):
     if memo is None:
         topo = TOPOLOGIES.create(topo_spec)
         memo = _TOPO_MEMO[topo_spec] = (topo, RoutingTables(topo))
+        # Pre-warm the flat engine's dense port geometry: it is memoized
+        # weakly per topology object, and this memo keeps the object
+        # alive, so every later cell on this topology reuses it.  (Skip
+        # when the env pins the reference engine — it never uses one.)
+        if os.environ.get(ENGINE_ENV, DEFAULT_ENGINE) != "reference":
+            from repro.flitsim.flatcore import fabric_for
+
+            fabric_for(topo)
     topo, tables = memo
     policy = POLICIES.create(cell["policy"], tables)
     traffic = TRAFFICS.create(cell["traffic"], topo)

@@ -25,7 +25,9 @@ from repro.utils.rng import derive_seed
 __all__ = ["Combo", "ExperimentSpec", "cell_hash", "CELL_VERSION"]
 
 #: bump to invalidate cached artifacts when cell semantics change
-CELL_VERSION = 1
+#: (2: synchronous router phase + batched injection RNG protocol of the
+#: flat/reference engine pair)
+CELL_VERSION = 2
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,326 @@
+"""Optional C cycle kernel for the struct-of-arrays engine.
+
+The flat engine's per-cycle work (feed, arbitration, credit flow,
+forwarding) is a few hundred tiny array operations; at small network
+sizes the numpy dispatch overhead dominates.  This module compiles the
+same cycle protocol (see :mod:`repro.flitsim.engine`) as one C pass over
+the very same flat int64 arrays, via :mod:`cffi` — no new dependencies,
+no extension to build at install time.
+
+* Loading is best-effort: no cffi, no C compiler, or any compile error
+  silently yields ``None`` and :class:`~repro.flitsim.flatcore.FlatSimulator`
+  falls back to its pure-numpy path (bit-identical results either way —
+  the golden equivalence tests run both).
+* ``REPRO_FLAT_KERNEL=0`` disables the kernel explicitly.
+* Compiled modules are cached under ``$REPRO_KERNEL_CACHE`` (default
+  ``~/.cache/repro-flitsim``) keyed by a hash of the C source, so the
+  compiler runs once per source revision, not once per process.
+
+The C code mirrors the *reference* engine's decision loop (routers
+ascending, link outputs then ejection, circular round-robin scan,
+decide-all-then-apply) — the simplest shape to audit against
+``reference.py`` side by side.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import shutil
+import sys
+import tempfile
+
+__all__ = ["load_kernel", "kernel_enabled"]
+
+_CDEF = """
+typedef struct {
+    int64_t n, E, I, O, OE, Dp, V, ps, hop_latency, stride;
+    int64_t *deg, *ports, *conc;
+    int64_t *nbr, *rev, *port_mat;
+    int64_t *ep_router, *ep_inport, *ep_off;
+    int64_t *voq_head, *voq_tail, *voq_count, *backlog, *rr, *credits;
+    int64_t *pool_pid, *pool_seq, *pool_hop, *pool_ready, *pool_next;
+    int64_t *src_head, *src_tail, *ep_credit;
+    int64_t *pkt_len, *pkt_dst;
+    int64_t *route_buf;
+    int64_t *pkt_free, *pkt_free_top;
+    int64_t *free_stack, *free_top;
+    int64_t *g_vq, *g_f, *tail_pids;
+} SimState;
+
+void kinject(SimState *st, int64_t now, int64_t k,
+             const int64_t *slots, const int64_t *winners);
+void kfeed(SimState *st, int64_t now);
+int64_t kroute(SimState *st, int64_t now, int64_t *n_ejected);
+"""
+
+_C_SOURCE = """
+#include <stdint.h>
+
+typedef struct {
+    int64_t n, E, I, O, OE, Dp, V, ps, hop_latency, stride;
+    int64_t *deg, *ports, *conc;
+    int64_t *nbr, *rev, *port_mat;
+    int64_t *ep_router, *ep_inport, *ep_off;
+    int64_t *voq_head, *voq_tail, *voq_count, *backlog, *rr, *credits;
+    int64_t *pool_pid, *pool_seq, *pool_hop, *pool_ready, *pool_next;
+    int64_t *src_head, *src_tail, *ep_credit;
+    int64_t *pkt_len, *pkt_dst;
+    int64_t *route_buf;
+    int64_t *pkt_free, *pkt_free_top;
+    int64_t *free_stack, *free_top;
+    int64_t *g_vq, *g_f, *tail_pids;
+} SimState;
+
+/* Append flit f to VOQ vq (row = router*O + out for the backlog). */
+static void enqueue(SimState *st, int64_t vq, int64_t f, int64_t row)
+{
+    st->pool_next[f] = -1;
+    if (st->voq_count[vq] == 0)
+        st->voq_head[vq] = f;
+    else
+        st->pool_next[st->voq_tail[vq]] = f;
+    st->voq_tail[vq] = f;
+    st->voq_count[vq] += 1;
+    st->backlog[row] += 1;
+}
+
+/* Protocol step 1 plumbing: pool rows + FIFO chains for k new packets
+ * (RNG, routing, and the packet table are written by the caller). */
+void kinject(SimState *st, int64_t now, int64_t k,
+             const int64_t *slots, const int64_t *winners)
+{
+    int64_t ps = st->ps;
+    for (int64_t j = 0; j < k; j++) {
+        int64_t e = winners[j];
+        int64_t pid = slots[j];
+        int64_t first = -1, prev = -1;
+        for (int64_t s = 0; s < ps; s++) {
+            int64_t f = st->free_stack[--(*st->free_top)];
+            st->pool_pid[f] = pid;
+            st->pool_seq[f] = s;
+            st->pool_hop[f] = 0;
+            st->pool_ready[f] = now;
+            st->pool_next[f] = -1;
+            if (prev >= 0)
+                st->pool_next[prev] = f;
+            else
+                first = f;
+            prev = f;
+        }
+        if (st->src_tail[e] >= 0)
+            st->pool_next[st->src_tail[e]] = first;
+        else
+            st->src_head[e] = first;
+        st->src_tail[e] = prev;
+    }
+}
+
+/* Protocol step 2: one flit per endpoint from FIFO to injection VOQ. */
+void kfeed(SimState *st, int64_t now)
+{
+    (void)now;
+    int64_t I = st->I, O = st->O, OE = st->OE, n = st->n;
+    for (int64_t e = 0; e < st->E; e++) {
+        int64_t f = st->src_head[e];
+        if (f < 0 || st->ep_credit[e] <= 0)
+            continue;
+        st->src_head[e] = st->pool_next[f];
+        if (st->src_head[e] < 0)
+            st->src_tail[e] = -1;
+        st->ep_credit[e] -= 1;
+        int64_t r = st->ep_router[e];
+        int64_t pid = st->pool_pid[f];
+        int64_t out;
+        if (st->pkt_len[pid] == 1)
+            out = OE;
+        else
+            out = st->port_mat[r * n + st->route_buf[pid * st->stride + 1]];
+        enqueue(st, (r * I + st->ep_inport[e]) * O + out, f, r * O + out);
+    }
+}
+
+/* Protocol step 3: decide every grant from current state, then apply.
+ * Returns the number of completed (tail-flit) packets written to
+ * st->tail_pids; *n_ejected counts every ejected flit. */
+int64_t kroute(SimState *st, int64_t now, int64_t *n_ejected)
+{
+    int64_t n = st->n, I = st->I, O = st->O, OE = st->OE;
+    int64_t Dp = st->Dp, V = st->V;
+    int64_t ng = 0;
+
+    /* Decide: routers ascending, link outputs ascending, eject last;
+     * per output a circular scan of input ports from the rr pointer. */
+    for (int64_t r = 0; r < n; r++) {
+        int64_t d = st->deg[r];
+        int64_t P = st->ports[r];
+        for (int64_t oi = 0; oi <= d; oi++) {
+            int64_t out = (oi == d) ? OE : oi;
+            int64_t row = r * O + out;
+            int64_t limit = 1;
+            if (out == OE && st->conc[r] > 1)
+                limit = st->conc[r];
+            int64_t ptr = st->rr[row];
+            int64_t granted = 0, last = -1;
+            for (int64_t s = 0; s < P; s++) {
+                int64_t in = ptr + s;
+                if (in >= P)
+                    in -= P;
+                int64_t vq = (r * I + in) * O + out;
+                if (st->voq_count[vq] <= 0)
+                    continue;
+                int64_t f = st->voq_head[vq];
+                if (st->pool_ready[f] > now)
+                    continue;
+                if (out != OE) {
+                    int64_t dvc = st->pool_hop[f];
+                    if (dvc > V - 1)
+                        dvc = V - 1;
+                    if (st->credits[(r * Dp + out) * V + dvc] <= 0)
+                        continue;
+                }
+                st->g_vq[ng] = vq;
+                st->g_f[ng] = f;
+                ng++;
+                last = in;
+                if (++granted >= limit)
+                    break;
+            }
+            if (last >= 0)
+                st->rr[row] = (last + 1) % P;
+        }
+    }
+
+    /* Apply. */
+    int64_t n_tail = 0, n_ej = 0;
+    for (int64_t i = 0; i < ng; i++) {
+        int64_t vq = st->g_vq[i], f = st->g_f[i];
+        int64_t out = vq % O;
+        int64_t t = vq / O;
+        int64_t in = t % I;
+        int64_t r = t / I;
+        int64_t nx = st->pool_next[f];
+        st->voq_head[vq] = nx;
+        st->voq_count[vq] -= 1;
+        if (nx < 0)
+            st->voq_tail[vq] = -1;
+        st->backlog[r * O + out] -= 1;
+
+        int64_t pid = st->pool_pid[f];
+        int64_t hop = st->pool_hop[f];
+        int64_t off = pid * st->stride;
+        if (in < st->deg[r]) {
+            int64_t up = st->route_buf[off + hop - 1];
+            int64_t upp = st->port_mat[up * n + r];
+            int64_t vc = hop - 1;
+            if (vc > V - 1)
+                vc = V - 1;
+            st->credits[(up * Dp + upp) * V + vc] += 1;
+        } else {
+            st->ep_credit[st->ep_off[r] + in - st->deg[r]] += 1;
+        }
+
+        if (out == OE) {
+            n_ej++;
+            if (st->pool_seq[f] == st->ps - 1) {
+                st->tail_pids[n_tail++] = pid;
+                /* Tail flit is the packet's last: recycle its slot.
+                 * The caller reads pkt_* for these pids before the
+                 * slot can be reallocated (next injection). */
+                st->pkt_free[(*st->pkt_free_top)++] = pid;
+            }
+            st->free_stack[(*st->free_top)++] = f;
+        } else {
+            int64_t dvc = hop;
+            if (dvc > V - 1)
+                dvc = V - 1;
+            st->credits[(r * Dp + out) * V + dvc] -= 1;
+            int64_t nxt = st->nbr[r * Dp + out];
+            int64_t in2 = st->rev[r * Dp + out];
+            st->pool_hop[f] = hop + 1;
+            st->pool_ready[f] = now + st->hop_latency;
+            int64_t out2;
+            if (nxt == st->pkt_dst[pid])
+                out2 = OE;
+            else
+                out2 = st->port_mat[nxt * n + st->route_buf[off + hop + 2]];
+            enqueue(st, (nxt * I + in2) * O + out2, f, nxt * O + out2);
+        }
+    }
+    *n_ejected = n_ej;
+    return n_tail;
+}
+"""
+
+_ENV = "REPRO_FLAT_KERNEL"
+_CACHE_ENV = "REPRO_KERNEL_CACHE"
+
+_cached = False
+_module = None
+
+
+def kernel_enabled() -> bool:
+    """Whether the environment allows using the C kernel."""
+    return os.environ.get(_ENV, "1") not in ("0", "off", "no")
+
+
+def _cache_dir() -> str:
+    return os.environ.get(_CACHE_ENV) or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-flitsim"
+    )
+
+
+def _find_built(cache: str, name: str) -> "str | None":
+    if not os.path.isdir(cache):
+        return None
+    for entry in os.listdir(cache):
+        if entry.startswith(name) and entry.endswith((".so", ".pyd", ".dylib")):
+            return os.path.join(cache, entry)
+    return None
+
+
+def _build(cache: str, name: str) -> "str | None":
+    import cffi
+
+    ffi = cffi.FFI()
+    ffi.cdef(_CDEF)
+    ffi.set_source(name, _C_SOURCE, extra_compile_args=["-O2"])
+    os.makedirs(cache, exist_ok=True)
+    # Build in a private directory, then move into the shared cache —
+    # concurrent workers may race to compile the same source hash.
+    with tempfile.TemporaryDirectory(dir=cache) as tmp:
+        built = ffi.compile(tmpdir=tmp)
+        target = os.path.join(cache, os.path.basename(built))
+        if not os.path.exists(target):
+            shutil.move(built, target)
+        return target
+
+
+def load_kernel():
+    """The compiled kernel module (``.ffi``/``.lib``), or ``None``.
+
+    The result is memoized; failures of any kind (no cffi, no compiler)
+    degrade silently to ``None`` — the numpy path is always available.
+    """
+    global _cached, _module
+    if _cached:
+        return _module
+    _cached = True
+    if not kernel_enabled():
+        return None
+    try:
+        digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+        name = f"_repro_flit_kernel_{digest}"
+        cache = _cache_dir()
+        path = _find_built(cache, name)
+        if path is None:
+            path = _build(cache, name)
+        spec = importlib.util.spec_from_file_location(name, path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[name] = module
+        spec.loader.exec_module(module)
+        _module = module
+    except Exception:
+        _module = None
+    return _module

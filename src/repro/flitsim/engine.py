@@ -1,0 +1,233 @@
+"""Shared simulator core: config, results, and the engine contract.
+
+Two interchangeable engines implement the same cycle-level protocol:
+
+* :class:`~repro.flitsim.reference.NetworkSimulator` — the readable
+  dict-of-deques reference implementation;
+* :class:`~repro.flitsim.flatcore.FlatSimulator` — the struct-of-arrays
+  production engine (preallocated numpy flit pool, flat ring/linked VOQs,
+  dense credit arrays, vectorized injection).
+
+The protocol is defined precisely enough that both engines produce
+**bit-identical** :class:`SimResult`\\ s for the same seed (the golden
+equivalence tests pin this):
+
+1. *Injection*: with ``prob = load / packet_size > 0``, one
+   ``rng.random(num_endpoints)`` Bernoulli draw across all endpoints in
+   router-major order; then one batched
+   :meth:`~repro.flitsim.traffic.TrafficPattern.dest_routers` call for
+   the winners, then one batched
+   :meth:`~repro.routing.policies.RoutingPolicy.select_routes` call.
+   Packets enter unbounded per-endpoint source FIFOs.
+2. *Feed*: one flit per endpoint per cycle moves from its source FIFO
+   into the router's injection-port VOQ, subject to injection credits.
+3. *Router phase* (synchronous): all grants are decided from the state
+   left by step 2, then applied together — credits freed and flits
+   forwarded this cycle become visible next cycle.  Per (router, output)
+   a single round-robin pointer scans input ports circularly; a grant
+   advances the pointer just past the granted port.  Link outputs grant
+   one flit; the ejection output grants up to ``max(1, concentration)``.
+   Routers are processed in ascending index order, outputs in ascending
+   port order with ejection last — the order latency samples are
+   recorded in.
+4. ``output_occupancy`` is an O(1) read of incrementally-maintained
+   per-output backlog counters plus first-hop-class credit debt.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SimConfig",
+    "SimResult",
+    "SimulatorCore",
+    "EJECT",
+    "ENGINE_ENV",
+    "DEFAULT_ENGINE",
+    "available_engines",
+    "make_simulator",
+]
+
+EJECT = -1  # sentinel output port
+
+#: environment override for the default simulation engine
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+#: engine used when neither the caller nor the environment picks one
+DEFAULT_ENGINE = "flat"
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Simulator knobs (defaults are the paper's, scaled where noted)."""
+
+    #: flits per packet (paper: 4)
+    packet_size: int = 4
+    #: virtual channels (hop classes) per port (paper: 4)
+    num_vcs: int = 4
+    #: flit slots per (port, VC) buffer; the paper's 128-flit ports with 4
+    #: VCs give 32 — the scaled default keeps queueing dynamics visible at
+    #: reduced network sizes
+    vc_depth: int = 8
+    #: cycles a flit spends on a link
+    link_latency: int = 1
+    #: router pipeline latency applied on arrival before a flit may compete
+    router_pipeline: int = 2
+
+    @property
+    def port_capacity(self) -> int:
+        """Total flit capacity of one input port (all VCs)."""
+        return self.num_vcs * self.vc_depth
+
+
+@dataclass
+class SimResult:
+    """Steady-state measurements of one simulation run.
+
+    ``latencies``/``hop_counts`` accumulate as plain lists during the
+    run (appends are the hot path) and are packed into numpy arrays by
+    :meth:`finalize` when the run ends, so every statistic below is a
+    single vectorized reduction.
+    """
+
+    offered_load: float
+    cycles: int
+    num_endpoints: int
+    injected_flits: int = 0
+    ejected_flits: int = 0
+    latencies: "list | np.ndarray" = field(default_factory=list)
+    hop_counts: "list | np.ndarray" = field(default_factory=list)
+
+    def finalize(self) -> "SimResult":
+        """Pack sample lists into arrays (idempotent)."""
+        self.latencies = np.asarray(self.latencies, dtype=np.float64)
+        self.hop_counts = np.asarray(self.hop_counts, dtype=np.int64)
+        return self
+
+    @property
+    def accepted_load(self) -> float:
+        """Ejected flits per endpoint per cycle (throughput)."""
+        return self.ejected_flits / (self.cycles * self.num_endpoints)
+
+    @property
+    def avg_latency(self) -> float:
+        """Mean packet latency (cycles) over measured, delivered packets."""
+        lat = self.latencies
+        return float(np.mean(lat)) if len(lat) else float("nan")
+
+    def latency_percentile(self, pct: float) -> float:
+        """``pct``-th percentile packet latency (NaN with no samples)."""
+        lat = self.latencies
+        return float(np.percentile(lat, pct)) if len(lat) else float("nan")
+
+    @property
+    def p50_latency(self) -> float:
+        """Median packet latency."""
+        return self.latency_percentile(50)
+
+    @property
+    def p99_latency(self) -> float:
+        """99th-percentile packet latency."""
+        return self.latency_percentile(99)
+
+    @property
+    def avg_hops(self) -> float:
+        """Mean route length of measured packets."""
+        hops = self.hop_counts
+        return float(np.mean(hops)) if len(hops) else float("nan")
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic: accepted below 95% of offered indicates saturation."""
+        return self.accepted_load < 0.95 * self.offered_load
+
+
+def validate_sim_args(topo, policy, load: float, config: SimConfig) -> None:
+    """Common constructor validation shared by both engines."""
+    if topo.num_endpoints == 0:
+        raise ValueError("simulation requires endpoints (concentration > 0)")
+    if not 0.0 <= load <= 1.0:
+        raise ValueError("load must be in [0, 1] (fraction of injection bw)")
+    if policy.max_hops > config.num_vcs + 1:
+        raise ValueError(
+            f"policy worst case {policy.max_hops} hops needs at least "
+            f"{policy.max_hops - 1} VCs for deadlock freedom, have "
+            f"{config.num_vcs}"
+        )
+
+
+class SimulatorCore:
+    """Run-loop and congestion-view surface shared by both engines.
+
+    Subclasses provide ``step()`` plus the state the protocol requires
+    (``now``, ``load``, ``_measuring``, ``_stat``).
+    """
+
+    def output_capacity(self) -> int:
+        """Normalization for threshold-style adaptive decisions."""
+        return self.config.vc_depth
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def run(self, warmup: int = 600, measure: int = 1200, drain: int = 300) -> SimResult:
+        """Warm up, measure, optionally drain; returns the window's stats."""
+        for _ in range(warmup):
+            self.step()
+        self._measuring = True
+        start = self.now
+        for _ in range(measure):
+            self.step()
+        self._stat.cycles = self.now - start
+        self._measuring = False
+        if drain:
+            saved_load, self.load = self.load, 0.0
+            for _ in range(drain):
+                self.step()
+            self.load = saved_load
+        self.result = self._stat.finalize()
+        return self._stat
+
+
+def _engine_classes() -> dict:
+    # Imported lazily: the engine modules import this one.
+    from repro.flitsim.flatcore import FlatSimulator
+    from repro.flitsim.reference import NetworkSimulator
+
+    return {"flat": FlatSimulator, "reference": NetworkSimulator}
+
+
+def available_engines() -> tuple:
+    """Names accepted by :func:`make_simulator` and ``$REPRO_SIM_ENGINE``."""
+    return tuple(sorted(_engine_classes()))
+
+
+def make_simulator(
+    topo,
+    policy,
+    traffic,
+    load: float,
+    config: "SimConfig | None" = None,
+    seed=0,
+    engine: "str | None" = None,
+):
+    """Construct a simulator for one cell with the selected engine.
+
+    ``engine`` of ``None`` reads ``$REPRO_SIM_ENGINE`` (default
+    ``"flat"``); set ``REPRO_SIM_ENGINE=reference`` to fall back to the
+    readable engine for debugging.
+    """
+    name = engine or os.environ.get(ENGINE_ENV, DEFAULT_ENGINE)
+    classes = _engine_classes()
+    if name not in classes:
+        raise ValueError(
+            f"unknown simulation engine {name!r}; choose from "
+            + ", ".join(sorted(classes))
+        )
+    if config is None:
+        config = SimConfig()
+    return classes[name](topo, policy, traffic, load, config=config, seed=seed)

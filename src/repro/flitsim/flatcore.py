@@ -1,0 +1,655 @@
+"""Struct-of-arrays flit engine: the production simulator core.
+
+Implements the cycle protocol of :mod:`repro.flitsim.engine` with flat
+numpy state instead of per-flit Python objects, so a cycle is a handful
+of vectorized array passes rather than an interpreter loop over every
+queued flit:
+
+* **Flit pool** — flits are rows of preallocated int arrays (packet id,
+  flit sequence number, hop index, ready cycle, next-pointer).  A free
+  list recycles rows; queues are intrusive linked lists through the
+  ``next`` column, so enqueue/dequeue never allocates.
+* **Routes** — selected once per packet and stored in a flattened route
+  buffer with per-packet offsets; per-flit state is just the hop index.
+* **VOQs** — head/tail/count arrays over a dense
+  ``(router, in_port, out_port)`` index (ejection is the last output
+  column), giving O(1) enqueue, dequeue, and occupancy checks.
+* **Credits** — one ``(router, out_port, vc)`` int array; injection
+  credits one array over endpoints.
+* **Arbitration** — per (router, output) round-robin pointers; each
+  cycle the eligible VOQ heads are scored by circular distance from the
+  pointer and winners fall out of one ``argmin``/``argsort`` per cycle.
+* **Injection** — one Bernoulli draw per cycle across all endpoints and
+  one batched destination draw (``TrafficPattern.dest_routers``), then
+  the policy's batched ``select_routes``.
+* **Congestion view** — ``output_occupancy`` is an O(1) read of the
+  incrementally maintained per-output backlog counters plus credit debt.
+
+The topology-dependent port maps are memoized per topology object in
+:func:`fabric_for`, so sweep workers that simulate many cells on one
+topology (the runner's per-process topology memo keeps the object alive)
+pay the dense-matrix construction once.
+
+Results are bit-identical to :class:`repro.flitsim.reference.NetworkSimulator`
+for the same seed — pinned by ``tests/test_flitsim_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.flitsim._kernel import load_kernel
+from repro.flitsim.engine import (
+    SimConfig,
+    SimResult,
+    SimulatorCore,
+    validate_sim_args,
+)
+from repro.flitsim.traffic import TrafficPattern
+from repro.routing.policies import RoutingPolicy, routes_as_matrix
+from repro.topologies.base import Topology
+from repro.utils.rng import make_rng
+
+__all__ = ["FlatFabric", "FlatSimulator", "fabric_for"]
+
+#: initial flit-pool capacity (rows); grows by doubling
+_POOL_CAP = 4096
+
+#: initial packet-table capacity; grows by doubling
+_PKT_CAP = 1024
+
+
+class FlatFabric:
+    """Dense, config-independent port geometry of one topology.
+
+    Shared by every :class:`FlatSimulator` on the same topology object
+    (see :func:`fabric_for`); everything here is read-only after build.
+    """
+
+    def __init__(self, topo: Topology):
+        graph = topo.graph
+        n = graph.n
+        nbrs = [graph.neighbors(r) for r in range(n)]
+        deg = np.fromiter((len(x) for x in nbrs), count=n, dtype=np.int64)
+        conc = np.asarray(topo.concentration, dtype=np.int64)
+        D = int(deg.max()) if n else 0
+        C = int(conc.max()) if n else 0
+
+        self.n = n
+        self.deg = deg
+        self.conc = conc
+        #: max link outputs; the ejection output is column ``D``
+        self.D = D
+        self.OE = D
+        self.O = D + 1
+        #: input ports per router: links 0..deg-1, injection deg..deg+p-1
+        self.P_arr = deg + conc
+        self.I = max(int(self.P_arr.max()) if n else 0, 1)
+
+        cols = max(D, 1)
+        self.nbr_mat = np.full((n, cols), -1, dtype=np.int64)
+        self.rev_mat = np.full((n, cols), -1, dtype=np.int64)
+        #: port_mat[u, v] = output port of u toward v (-1 if not adjacent)
+        self.port_mat = np.full((n, n), -1, dtype=np.int64)
+        for r in range(n):
+            d = int(deg[r])
+            if d:
+                self.nbr_mat[r, :d] = nbrs[r]
+                self.port_mat[r, nbrs[r]] = np.arange(d)
+        for r in range(n):
+            d = int(deg[r])
+            if d:
+                self.rev_mat[r, :d] = self.port_mat[nbrs[r], r]
+
+        self.E = topo.num_endpoints
+        self.ep_router = np.asarray(topo.endpoint_routers, dtype=np.int64)
+        self.ep_off = np.asarray(topo.endpoint_offsets, dtype=np.int64)
+        self.ep_inport = deg[self.ep_router] + (
+            np.arange(self.E, dtype=np.int64) - self.ep_off[self.ep_router]
+        )
+        #: dense VOQ count: (router, in_port, out_port) triples
+        self.NV = n * self.I * self.O
+
+
+_FABRIC_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def fabric_for(topo: Topology) -> FlatFabric:
+    """The (memoized) :class:`FlatFabric` of ``topo``.
+
+    Keyed weakly on the topology object: sweep workers memoize the
+    topology per process, so repeated cells on it reuse one fabric.
+    """
+    fab = _FABRIC_MEMO.get(topo)
+    if fab is None:
+        fab = _FABRIC_MEMO[topo] = FlatFabric(topo)
+    return fab
+
+
+class FlatSimulator(SimulatorCore):
+    """Struct-of-arrays engine for one (topology, routing, traffic) point.
+
+    Drop-in replacement for the reference
+    :class:`~repro.flitsim.reference.NetworkSimulator`: same constructor,
+    same :meth:`~repro.flitsim.engine.SimulatorCore.run` contract, same
+    :class:`~repro.routing.policies.CongestionView` surface, bit-identical
+    :class:`~repro.flitsim.engine.SimResult` for the same seed.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        policy: RoutingPolicy,
+        traffic: TrafficPattern,
+        load: float,
+        config: SimConfig = SimConfig(),
+        seed=0,
+    ):
+        validate_sim_args(topo, policy, load, config)
+        self.topo = topo
+        self.policy = policy
+        self.traffic = traffic
+        self.load = float(load)
+        self.config = config
+        self.rng = make_rng(seed)
+
+        fab = fabric_for(topo)
+        self.fab = fab
+        n, I, O = fab.n, fab.I, fab.O
+        V = config.num_vcs
+
+        # Credit state: link outputs carry vc_depth per hop class;
+        # padding columns (port >= deg) stay 0 and are never addressed.
+        valid = np.arange(max(fab.D, 1))[None, :] < fab.deg[:, None]
+        self.credits = np.zeros((fab.n, max(fab.D, 1), V), dtype=np.int64)
+        self.credits[valid] = config.vc_depth
+        self.ep_credit = np.full(fab.E, config.vc_depth, dtype=np.int64)
+
+        # VOQ state: intrusive linked lists through the flit pool.
+        self.voq_head = np.full(fab.NV, -1, dtype=np.int64)
+        self.voq_tail = np.full(fab.NV, -1, dtype=np.int64)
+        self.voq_count = np.zeros(fab.NV, dtype=np.int64)
+        #: flits queued per (router, out) — the O(1) occupancy counters
+        self.backlog = np.zeros(n * O, dtype=np.int64)
+        #: round-robin pointers per (router, out)
+        self.rr = np.zeros(n * O, dtype=np.int64)
+        # Static per-(router, out)-row arbitration tables: grant limit
+        # (1 for links, max(1, concentration) for ejection) and the
+        # router's circular input-port count.
+        row_router = np.repeat(np.arange(n, dtype=np.int64), O)
+        self._row_limit = np.ones(n * O, dtype=np.int64)
+        self._row_limit[fab.OE :: O] = np.maximum(fab.conc, 1)
+        self._row_ports = fab.P_arr[row_router]
+        self._IO = fab.I * O
+
+        # Flit pool + free list.  The stack top lives in a one-element
+        # array so the C kernel can mutate it in place.
+        self.pool_cap = _POOL_CAP
+        self.pool_pid = np.empty(self.pool_cap, dtype=np.int64)
+        self.pool_seq = np.empty(self.pool_cap, dtype=np.int64)
+        self.pool_hop = np.empty(self.pool_cap, dtype=np.int64)
+        self.pool_ready = np.empty(self.pool_cap, dtype=np.int64)
+        self.pool_next = np.empty(self.pool_cap, dtype=np.int64)
+        self.free_stack = np.arange(self.pool_cap, dtype=np.int64)
+        self._free_top = np.array([self.pool_cap], dtype=np.int64)
+
+        # Packet table + route buffer, slot-recycled so memory stays
+        # O(in-flight packets), not O(packets ever injected): each
+        # packet occupies one row of the pkt_* arrays and one
+        # fixed-stride row of the route buffer (stride = the policy's
+        # worst-case route length), identified by a pool slot that is
+        # freed when the tail flit ejects.
+        self.route_stride = policy.max_hops + 1
+        self.pkt_cap = _PKT_CAP
+        self.pkt_t_created = np.empty(self.pkt_cap, dtype=np.int64)
+        self.pkt_len = np.empty(self.pkt_cap, dtype=np.int64)
+        self.pkt_dst = np.full(self.pkt_cap, -1, dtype=np.int64)
+        self.pkt_measured = np.zeros(self.pkt_cap, dtype=bool)
+        self.route_buf = np.zeros(self.pkt_cap * self.route_stride, dtype=np.int64)
+        self._pslot_stack = np.arange(self.pkt_cap, dtype=np.int64)
+        self._pslot_top = np.array([self.pkt_cap], dtype=np.int64)
+        #: monotone count of packets ever injected (slots are recycled)
+        self.packets_injected = 0
+
+        # Per-endpoint source FIFOs (linked lists in the pool).
+        self.src_head = np.full(fab.E, -1, dtype=np.int64)
+        self.src_tail = np.full(fab.E, -1, dtype=np.int64)
+
+        self.now = 0
+        self._hop_latency = config.link_latency + config.router_pipeline
+        self.result: "SimResult | None" = None
+        self._measuring = False
+        self._stat = SimResult(load, 0, fab.E)
+
+        # Optional C cycle kernel (same protocol, same arrays); falls
+        # back to the pure-numpy phases when unavailable.
+        self._kernel = load_kernel()
+        if self._kernel is not None:
+            ffi = self._kernel.ffi
+            grant_cap = n * O + fab.E
+            self._g_vq = np.empty(grant_cap, dtype=np.int64)
+            self._g_f = np.empty(grant_cap, dtype=np.int64)
+            self._tail_pids = np.empty(max(grant_cap, 1), dtype=np.int64)
+            self._n_ej = ffi.new("int64_t *")
+            self._st = ffi.new("SimState *")
+            self._bind_kernel_state()
+
+    # ------------------------------------------------------------------
+    # CongestionView protocol
+    # ------------------------------------------------------------------
+    def output_occupancy(self, router: int, next_hop: int) -> int:
+        """O(1) UGAL-L signal: credit debt + maintained VOQ backlog."""
+        port = self.fab.port_mat[router, next_hop]
+        return int(
+            self.config.vc_depth
+            - self.credits[router, port, 0]
+            + self.backlog[router * self.fab.O + port]
+        )
+
+    def output_occupancies(self, routers, next_hops) -> np.ndarray:
+        """Vectorized occupancy reads for batched route selection."""
+        fab = self.fab
+        ports = fab.port_mat[routers, next_hops]
+        return (
+            self.config.vc_depth
+            - self.credits[routers, ports, 0]
+            + self.backlog[np.asarray(routers) * fab.O + ports]
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, conservation checks)
+    # ------------------------------------------------------------------
+    @property
+    def free_top(self) -> int:
+        """Free-list depth (pool rows not holding a live flit)."""
+        return int(self._free_top[0])
+
+    def live_flits(self) -> int:
+        """Flits currently anywhere in the system (FIFOs + VOQs)."""
+        return self.pool_cap - self.free_top
+
+    # ------------------------------------------------------------------
+    # C kernel plumbing
+    # ------------------------------------------------------------------
+    def _bind_kernel_state(self) -> None:
+        """(Re)point the kernel's state struct at the current arrays.
+
+        Called at construction and whenever a growable array is
+        replaced; keeps the cffi buffer objects alive on the instance.
+        """
+        ffi = self._kernel.ffi
+        fab = self.fab
+        st = self._st
+        refs = []
+
+        def ptr(arr):
+            buf = ffi.from_buffer("int64_t[]", arr)
+            refs.append(buf)
+            return buf
+
+        st.n, st.E, st.I, st.O, st.OE = fab.n, fab.E, fab.I, fab.O, fab.OE
+        st.Dp = max(fab.D, 1)
+        st.V = self.config.num_vcs
+        st.ps = self.config.packet_size
+        st.hop_latency = self._hop_latency
+        st.stride = self.route_stride
+        st.deg, st.ports, st.conc = ptr(fab.deg), ptr(fab.P_arr), ptr(fab.conc)
+        st.nbr, st.rev = ptr(fab.nbr_mat), ptr(fab.rev_mat)
+        st.port_mat = ptr(fab.port_mat)
+        st.ep_router, st.ep_inport = ptr(fab.ep_router), ptr(fab.ep_inport)
+        st.ep_off = ptr(fab.ep_off)
+        st.voq_head, st.voq_tail = ptr(self.voq_head), ptr(self.voq_tail)
+        st.voq_count = ptr(self.voq_count)
+        st.backlog, st.rr, st.credits = (
+            ptr(self.backlog), ptr(self.rr), ptr(self.credits),
+        )
+        st.pool_pid, st.pool_seq = ptr(self.pool_pid), ptr(self.pool_seq)
+        st.pool_hop, st.pool_ready = ptr(self.pool_hop), ptr(self.pool_ready)
+        st.pool_next = ptr(self.pool_next)
+        st.src_head, st.src_tail = ptr(self.src_head), ptr(self.src_tail)
+        st.ep_credit = ptr(self.ep_credit)
+        st.pkt_len, st.pkt_dst = ptr(self.pkt_len), ptr(self.pkt_dst)
+        st.route_buf = ptr(self.route_buf)
+        st.pkt_free = ptr(self._pslot_stack)
+        st.pkt_free_top = ptr(self._pslot_top)
+        st.free_stack, st.free_top = ptr(self.free_stack), ptr(self._free_top)
+        st.g_vq, st.g_f = ptr(self._g_vq), ptr(self._g_f)
+        st.tail_pids = ptr(self._tail_pids)
+        self._st_refs = refs
+
+    # ------------------------------------------------------------------
+    # Pool + table growth
+    # ------------------------------------------------------------------
+    def _grow_pool(self, min_extra: int) -> None:
+        old = self.pool_cap
+        extra = max(min_extra, old)
+        cap = old + extra
+        for name in ("pool_pid", "pool_seq", "pool_hop", "pool_ready", "pool_next"):
+            arr = getattr(self, name)
+            new = np.empty(cap, dtype=arr.dtype)
+            new[:old] = arr
+            setattr(self, name, new)
+        top = self.free_top
+        stack = np.empty(cap, dtype=np.int64)
+        stack[:top] = self.free_stack[:top]
+        stack[top : top + extra] = np.arange(old, cap)
+        self.free_stack = stack
+        self._free_top[0] = top + extra
+        self.pool_cap = cap
+        if self._kernel is not None:
+            self._bind_kernel_state()
+
+    def _alloc(self, k: int) -> np.ndarray:
+        if self.free_top < k:
+            self._grow_pool(k - self.free_top)
+        top = self.free_top - k
+        self._free_top[0] = top
+        return self.free_stack[top : top + k].copy()
+
+    def _release(self, ids: np.ndarray) -> None:
+        top = self.free_top
+        self.free_stack[top : top + ids.size] = ids
+        self._free_top[0] = top + ids.size
+
+    def _grow_pkt_pool(self, min_extra: int) -> None:
+        old = self.pkt_cap
+        extra = max(min_extra, old)
+        cap = old + extra
+        stride = self.route_stride
+        for name, fill in (
+            ("pkt_t_created", None), ("pkt_len", None), ("pkt_dst", -1),
+        ):
+            arr = getattr(self, name)
+            new = np.empty(cap, dtype=np.int64) if fill is None else np.full(
+                cap, fill, dtype=np.int64
+            )
+            new[:old] = arr
+            setattr(self, name, new)
+        measured = np.zeros(cap, dtype=bool)
+        measured[:old] = self.pkt_measured
+        self.pkt_measured = measured
+        route_buf = np.zeros(cap * stride, dtype=np.int64)
+        route_buf[: old * stride] = self.route_buf
+        self.route_buf = route_buf
+        top = int(self._pslot_top[0])
+        stack = np.empty(cap, dtype=np.int64)
+        stack[:top] = self._pslot_stack[:top]
+        stack[top : top + extra] = np.arange(old, cap)
+        self._pslot_stack = stack
+        self._pslot_top[0] = top + extra
+        self.pkt_cap = cap
+        if self._kernel is not None:
+            self._bind_kernel_state()
+
+    def _alloc_pkt_slots(self, k: int) -> np.ndarray:
+        if int(self._pslot_top[0]) < k:
+            self._grow_pkt_pool(k - int(self._pslot_top[0]))
+        top = int(self._pslot_top[0]) - k
+        self._pslot_top[0] = top
+        return self._pslot_stack[top : top + k].copy()
+
+    # ------------------------------------------------------------------
+    # Injection (protocol step 1)
+    # ------------------------------------------------------------------
+    def _inject(self) -> None:
+        cfg = self.config
+        ps = cfg.packet_size
+        prob = self.load / ps
+        if prob <= 0.0:
+            return
+        rng = self.rng
+        fab = self.fab
+        winners = np.flatnonzero(rng.random(fab.E) < prob)
+        if winners.size == 0:
+            return
+        srcs = fab.ep_router[winners]
+        dsts = self.traffic.dest_routers(srcs, rng)
+        routes = self.policy.select_routes(srcs, dsts, rng, congestion=self)
+        mat, lens = routes_as_matrix(routes)
+        k = lens.size
+        max_len = int(lens.max())
+        if max_len > self.route_stride:
+            raise ValueError(
+                f"route of {max_len - 1} hops exceeds the policy's "
+                f"declared max_hops={self.policy.max_hops}"
+            )
+        slots = self._alloc_pkt_slots(k)
+        route_rows = self.route_buf.reshape(self.pkt_cap, self.route_stride)
+        # The matrix may carry padding columns wider than any surviving
+        # route; only columns within the slot stride are meaningful.
+        width = min(mat.shape[1], self.route_stride)
+        route_rows[slots, :width] = mat[:, :width]
+        self.pkt_len[slots] = lens
+        self.pkt_dst[slots] = mat[np.arange(k), lens - 1]
+        self.pkt_t_created[slots] = self.now
+        self.pkt_measured[slots] = self._measuring
+        self.packets_injected += k
+        if self._measuring:
+            self._stat.injected_flits += k * ps
+
+        if self._kernel is not None:
+            if self.free_top < k * ps:
+                self._grow_pool(k * ps - self.free_top)
+            ffi = self._kernel.ffi
+            self._kernel.lib.kinject(
+                self._st,
+                self.now,
+                k,
+                ffi.from_buffer("int64_t[]", slots),
+                ffi.from_buffer("int64_t[]", winners),
+            )
+            return
+
+        idx = self._alloc(k * ps).reshape(k, ps)
+        self.pool_pid[idx] = slots[:, None]
+        self.pool_seq[idx] = np.arange(ps, dtype=np.int64)[None, :]
+        self.pool_hop[idx] = 0
+        self.pool_ready[idx] = self.now
+        if ps > 1:
+            self.pool_next[idx[:, :-1]] = idx[:, 1:]
+        self.pool_next[idx[:, -1]] = -1
+
+        # Append each packet's flit chain to its endpoint FIFO.
+        first, last = idx[:, 0], idx[:, -1]
+        tails = self.src_tail[winners]
+        linked = tails >= 0
+        self.pool_next[tails[linked]] = first[linked]
+        self.src_head[winners[~linked]] = first[~linked]
+        self.src_tail[winners] = last
+
+    # ------------------------------------------------------------------
+    # Feed (protocol step 2)
+    # ------------------------------------------------------------------
+    def _feed(self) -> None:
+        ids = np.flatnonzero((self.src_head >= 0) & (self.ep_credit > 0))
+        if ids.size == 0:
+            return
+        fab = self.fab
+        flits = self.src_head[ids]
+        nxt = self.pool_next[flits]
+        self.src_head[ids] = nxt
+        self.src_tail[ids[nxt < 0]] = -1
+        self.ep_credit[ids] -= 1
+        routers = fab.ep_router[ids]
+        pid = self.pool_pid[flits]
+        out = np.full(ids.size, fab.OE, dtype=np.int64)
+        multi = self.pkt_len[pid] > 1
+        out[multi] = fab.port_mat[
+            routers[multi], self.route_buf[pid[multi] * self.route_stride + 1]
+        ]
+        vq = (routers * fab.I + fab.ep_inport[ids]) * fab.O + out
+        self._enqueue(vq, flits, routers, out)
+
+    # ------------------------------------------------------------------
+    # Queue plumbing
+    # ------------------------------------------------------------------
+    def _enqueue(self, vq, flits, routers, outs) -> None:
+        """Append ``flits`` to VOQs ``vq`` (distinct per call, by design)."""
+        self.pool_next[flits] = -1
+        empty = self.voq_count[vq] == 0
+        occupied = ~empty
+        self.voq_head[vq[empty]] = flits[empty]
+        self.pool_next[self.voq_tail[vq[occupied]]] = flits[occupied]
+        self.voq_tail[vq] = flits
+        self.voq_count[vq] += 1
+        np.add.at(self.backlog, routers * self.fab.O + outs, 1)
+
+    # ------------------------------------------------------------------
+    # Router phase (protocol step 3): decide synchronously, apply at once
+    # ------------------------------------------------------------------
+    def _route_phase(self) -> None:
+        occ = np.flatnonzero(self.voq_count > 0)
+        if occ.size == 0:
+            return
+        fab = self.fab
+        now = self.now
+        O, I, OE = fab.O, fab.I, fab.OE
+        V = self.config.num_vcs
+
+        # Eligibility of every nonempty VOQ head.
+        heads = self.voq_head[occ]
+        out_c = occ % O
+        ok = self.pool_ready[heads] <= now
+        lnk = ok & (out_c != OE)
+        vq_l = occ[lnk]
+        dvc = np.minimum(self.pool_hop[heads[lnk]], V - 1)
+        ok[lnk] = self.credits[vq_l // self._IO, out_c[lnk], dvc] > 0
+        if not ok.any():
+            return
+        vq_e = occ[ok]
+        head_e = heads[ok]
+        in_e = (vq_e // O) % I
+        rows = (vq_e // self._IO) * O + out_c[ok]
+
+        # One sort decides every grant: candidates ordered by
+        # (router, output, circular distance from the rr pointer).  The
+        # first candidate of each (router, output) group wins; ejection
+        # groups take up to max(1, concentration).  Ejection is the
+        # highest output column, so group order == the reference
+        # engine's decision order (routers ascending, links before
+        # eject) — which is also the latency-recording order.
+        score = (in_e - self.rr[rows]) % self._row_ports[rows]
+        order = np.lexsort((score, rows))
+        row_s = rows[order]
+        in_s = in_e[order]
+        first = np.empty(row_s.size, dtype=bool)
+        first[0] = True
+        np.not_equal(row_s[1:], row_s[:-1], out=first[1:])
+        starts = np.flatnonzero(first)
+        group = np.cumsum(first) - 1
+        rank = np.arange(row_s.size, dtype=np.int64) - starts[group]
+        take = rank < self._row_limit[row_s]
+
+        row_w = row_s[take]
+        in_w = in_s[take]
+        vq_w = vq_e[order][take]
+        flit = head_e[order][take]
+        r_w = row_w // O
+        out_w = row_w % O
+
+        # Advance each granted group's pointer past its last grant.
+        wg = group[take]
+        last = np.empty(wg.size, dtype=bool)
+        last[-1] = True
+        np.not_equal(wg[1:], wg[:-1], out=last[:-1])
+        row_last = row_w[last]
+        self.rr[row_last] = (in_w[last] + 1) % self._row_ports[row_last]
+
+        # ---- Apply: pop winners, return credits, forward/eject. ----
+        succ = self.pool_next[flit]
+        self.voq_head[vq_w] = succ
+        self.voq_count[vq_w] -= 1
+        self.voq_tail[vq_w[succ < 0]] = -1
+        np.add.at(self.backlog, row_w, -1)
+
+        pid_w = self.pool_pid[flit]
+        hop_w = self.pool_hop[flit]
+        off_w = pid_w * self.route_stride
+        deg_w = fab.deg[r_w]
+
+        # Upstream credit returns (link inputs) / injection credits.
+        from_link = in_w < deg_w
+        li = np.flatnonzero(from_link)
+        if li.size:
+            upstream = self.route_buf[off_w[li] + hop_w[li] - 1]
+            up_port = fab.port_mat[upstream, r_w[li]]
+            vc = np.minimum(hop_w[li] - 1, V - 1)
+            np.add.at(self.credits, (upstream, up_port, vc), 1)
+        ii = np.flatnonzero(~from_link)
+        if ii.size:
+            endpoint = fab.ep_off[r_w[ii]] + in_w[ii] - deg_w[ii]
+            np.add.at(self.ep_credit, endpoint, 1)
+
+        # Forward the link winners one hop.
+        is_ej = out_w == OE
+        fwd = np.flatnonzero(~is_ej)
+        if fwd.size:
+            fl = flit[fwd]
+            r_f, out_f = r_w[fwd], out_w[fwd]
+            hop_f = hop_w[fwd]
+            np.add.at(self.credits, (r_f, out_f, np.minimum(hop_f, V - 1)), -1)
+            nxt_r = fab.nbr_mat[r_f, out_f]
+            in_next = fab.rev_mat[r_f, out_f]
+            hop2 = hop_f + 1
+            self.pool_hop[fl] = hop2
+            self.pool_ready[fl] = now + self._hop_latency
+            pid_f = pid_w[fwd]
+            pos = off_w[fwd] + np.minimum(hop2 + 1, self.pkt_len[pid_f] - 1)
+            out_next = np.where(
+                nxt_r == self.pkt_dst[pid_f],
+                OE,
+                fab.port_mat[nxt_r, self.route_buf[pos]],
+            )
+            self._enqueue((nxt_r * I + in_next) * O + out_next, fl, nxt_r, out_next)
+
+        # Eject the rest (already in recording order); tail flits
+        # complete their packet.
+        ejs = np.flatnonzero(is_ej)
+        if ejs.size:
+            fe = flit[ejs]
+            if self._measuring:
+                self._stat.ejected_flits += fe.size
+            tails = self.pool_seq[fe] == self.config.packet_size - 1
+            done = pid_w[ejs[tails]]
+            measured = done[self.pkt_measured[done]]
+            if measured.size:
+                self._stat.latencies.extend(
+                    (now - self.pkt_t_created[measured]).tolist()
+                )
+                self._stat.hop_counts.extend((self.pkt_len[measured] - 1).tolist())
+            self._release(fe)
+            if done.size:
+                # The tail flit is the last of its packet out of the
+                # network: recycle the packet slot.
+                top = int(self._pslot_top[0])
+                self._pslot_stack[top : top + done.size] = done
+                self._pslot_top[0] = top + done.size
+
+    def _kernel_cycle(self) -> None:
+        """Feed + route phase in one C pass (same protocol, same arrays)."""
+        lib = self._kernel.lib
+        lib.kfeed(self._st, self.now)
+        n_tail = lib.kroute(self._st, self.now, self._n_ej)
+        n_ej = self._n_ej[0]
+        if n_ej and self._measuring:
+            self._stat.ejected_flits += n_ej
+        if n_tail:
+            done = self._tail_pids[:n_tail]
+            measured = done[self.pkt_measured[done]]
+            if measured.size:
+                self._stat.latencies.extend(
+                    (self.now - self.pkt_t_created[measured]).tolist()
+                )
+                self._stat.hop_counts.extend((self.pkt_len[measured] - 1).tolist())
+
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        self._inject()
+        if self._kernel is not None:
+            self._kernel_cycle()
+        else:
+            self._feed()
+            self._route_phase()
+        self.now += 1

@@ -83,6 +83,17 @@ class HotspotTraffic(TrafficPattern):
         pos = self._pos[src_router]
         return int(t[d if d < pos else d + 1])
 
+    def dest_routers(self, src_routers, rng) -> np.ndarray:
+        # Batched form draws both vectors unconditionally (the uniform
+        # draw is discarded for packets that hit the hotspot).
+        srcs = np.asarray(src_routers, dtype=np.int64)
+        t = self.terminals
+        hot = rng.random(srcs.size) < self.fraction
+        d = rng.integers(t.size - 1, size=srcs.size)
+        pos = self._pos_arr[srcs]
+        uniform = t[np.where(d < pos, d, d + 1)]
+        return np.where(hot & (srcs != self.hotspot), self.hotspot, uniform)
+
 
 # ----------------------------------------------------------------------
 # Spec registrations

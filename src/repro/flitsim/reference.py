@@ -1,0 +1,341 @@
+"""Reference engine: the readable dict-of-deques simulator.
+
+Microarchitectural model, matching the paper's Section VIII-A setup:
+
+* **Input-queued routers**, with each input port organized as virtual
+  output queues (VOQs) — the standard idealization of a VC-allocated
+  input-queued router that avoids spurious head-of-line blocking across
+  outputs.  Downstream buffer space remains partitioned per *hop class*
+  (virtual channel) with credit-based flow control.
+* **Virtual channels as hop classes**: a flit that has taken ``h`` hops
+  occupies class ``min(h-1, V-1)`` downstream.  Class indices are
+  non-decreasing along any route, so routing is deadlock-free for paths of
+  up to ``V + 1`` routers — the paper's 4 VCs cover Valiant's 4-hop worst
+  case.
+* **Source routing**: the full path is chosen at injection by a
+  :class:`~repro.routing.policies.RoutingPolicy`, which may inspect local
+  output-buffer occupancy through credits — the UGAL-L information model.
+* **Bernoulli injection** of fixed-size packets (4 flits by default), one
+  injection FIFO per endpoint; ejection bandwidth is one flit per cycle
+  per endpoint of the destination router.
+* **Warmup + measurement window** methodology, with an optional drain so
+  measured packets finishing late still contribute latency samples.
+
+This implementation follows the shared cycle protocol documented in
+:mod:`repro.flitsim.engine` and is kept deliberately simple: it is the
+behavioural oracle the struct-of-arrays engine
+(:class:`~repro.flitsim.flatcore.FlatSimulator`) is pinned against, and
+the engine of choice when single-stepping a credit or arbitration bug.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.flitsim.engine import (
+    EJECT,
+    SimConfig,
+    SimResult,
+    SimulatorCore,
+    validate_sim_args,
+)
+from repro.flitsim.packet import Packet
+from repro.flitsim.traffic import TrafficPattern
+from repro.routing.policies import RoutingPolicy, iter_routes
+from repro.topologies.base import Topology
+from repro.utils.rng import make_rng
+
+__all__ = ["NetworkSimulator"]
+
+
+class NetworkSimulator(SimulatorCore):
+    """Cycle-accurate simulation of one (topology, routing, traffic) point.
+
+    Also implements the :class:`~repro.routing.policies.CongestionView`
+    protocol so adaptive policies can read local output occupancy.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        policy: RoutingPolicy,
+        traffic: TrafficPattern,
+        load: float,
+        config: SimConfig = SimConfig(),
+        seed=0,
+    ):
+        validate_sim_args(topo, policy, load, config)
+        self.topo = topo
+        self.policy = policy
+        self.traffic = traffic
+        self.load = float(load)
+        self.config = config
+        self.rng = make_rng(seed)
+
+        graph = topo.graph
+        n = graph.n
+        self.now = 0
+        self._pid = 0
+
+        # Port maps: output i of router r leads to neighbor nbrs[r][i]; the
+        # reverse (input port index at that neighbor) is precomputed.
+        self.nbrs = [graph.neighbors(r) for r in range(n)]
+        self.port_of = [
+            {int(v): i for i, v in enumerate(self.nbrs[r])} for r in range(n)
+        ]
+        self.rev_port = [
+            [self.port_of[int(v)][r] for v in self.nbrs[r]] for r in range(n)
+        ]
+        # Input ports 0..deg-1 are link inputs; deg..deg+p-1 injection ports.
+        self.num_in_ports = [
+            len(self.nbrs[r]) + int(topo.concentration[r]) for r in range(n)
+        ]
+
+        V = config.num_vcs
+        # Virtual output queues: voq[r][(in_port, out_port)] -> deque of
+        # flits (packet, seq, hop_idx, ready_cycle).
+        self.voq: list[dict] = [dict() for _ in range(n)]
+        # by_out[r][out_port] -> set of voq keys with content for that out.
+        self.by_out: list[dict] = [dict() for _ in range(n)]
+        # credits[r][out_port][vc]: free downstream slots per hop class.
+        self.credits = [
+            [[config.vc_depth] * V for _ in self.nbrs[r]] for r in range(n)
+        ]
+        # Incrementally-maintained flit backlog per link output: the
+        # number of flits queued in this router's VOQs for that output.
+        # Makes output_occupancy an O(1) read instead of a per-decision
+        # re-sum over the by_out key sets.
+        self.out_backlog = [[0] * len(self.nbrs[r]) for r in range(n)]
+        # Unbounded per-endpoint source FIFOs plus per-endpoint injection
+        # port credits (free slots in the injection input buffer).
+        self.src_q = [
+            [deque() for _ in range(int(topo.concentration[r]))] for r in range(n)
+        ]
+        self.inj_credit = [
+            [config.vc_depth] * int(topo.concentration[r]) for r in range(n)
+        ]
+        # Round-robin pointers per (router, out_port): the input port the
+        # next scan starts from.
+        self.rr: list[dict] = [dict() for _ in range(n)]
+        # Routers that may have movable flits / non-empty source FIFOs.
+        self.active: set[int] = set()
+        self.src_active: set[int] = set()
+
+        self.result: "SimResult | None" = None
+        self._measuring = False
+        self._stat = SimResult(load, 0, topo.num_endpoints)
+
+    # ------------------------------------------------------------------
+    # CongestionView protocol
+    # ------------------------------------------------------------------
+    def output_occupancy(self, router: int, next_hop: int) -> int:
+        """Output-queue length estimate toward ``next_hop`` in flits.
+
+        The UGAL-L signal: downstream first-hop-class occupancy (from
+        credits) plus the flits queued in this router's own VOQs waiting
+        for that output — together, the backlog a newly injected packet
+        would sit behind.  O(1): the VOQ share is the incrementally
+        maintained ``out_backlog`` counter.
+        """
+        port = self.port_of[router][next_hop]
+        return (
+            self.config.vc_depth
+            - self.credits[router][port][0]
+            + self.out_backlog[router][port]
+        )
+
+    def output_occupancies(self, routers, next_hops) -> np.ndarray:
+        """Batched occupancy reads (sequential — this is the oracle)."""
+        return np.fromiter(
+            (
+                self.output_occupancy(int(r), int(v))
+                for r, v in zip(routers, next_hops)
+            ),
+            count=len(routers),
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------
+    # Injection
+    # ------------------------------------------------------------------
+    def _inject(self) -> None:
+        cfg = self.config
+        prob = self.load / cfg.packet_size
+        if prob <= 0.0:
+            return
+        rng = self.rng
+        topo = self.topo
+        # Protocol step 1: one Bernoulli draw across all endpoints, then
+        # batched destination and route selection for the winners.
+        winners = np.flatnonzero(rng.random(topo.num_endpoints) < prob)
+        if winners.size == 0:
+            return
+        srcs = topo.endpoint_routers[winners]
+        dsts = self.traffic.dest_routers(srcs, rng)
+        routes = self.policy.select_routes(srcs, dsts, rng, congestion=self)
+        offsets = topo.endpoint_offsets
+        for endpoint, src, route in zip(winners, srcs, iter_routes(routes)):
+            src = int(src)
+            pkt = Packet(self._pid, route, cfg.packet_size, self.now)
+            self._pid += 1
+            pkt.measured = self._measuring
+            if pkt.measured:
+                self._stat.injected_flits += cfg.packet_size
+            q = self.src_q[src][int(endpoint) - int(offsets[src])]
+            for seq in range(cfg.packet_size):
+                q.append((pkt, seq, 0, self.now))
+            self.src_active.add(src)
+
+    def _feed_injection_ports(self) -> None:
+        """Move flits from source FIFOs into injection-port VOQs.
+
+        One flit per endpoint per cycle (the injection channel rate),
+        subject to injection-buffer credits.
+        """
+        done: list[int] = []
+        for r in sorted(self.src_active):
+            any_left = False
+            deg = len(self.nbrs[r])
+            credits = self.inj_credit[r]
+            for e, q in enumerate(self.src_q[r]):
+                if not q:
+                    continue
+                if credits[e] > 0:
+                    credits[e] -= 1
+                    self._enqueue_voq(r, deg + e, q.popleft())
+                if q:
+                    any_left = True
+            if not any_left:
+                done.append(r)
+        self.src_active.difference_update(done)
+
+    # ------------------------------------------------------------------
+    # Queue plumbing
+    # ------------------------------------------------------------------
+    def _desired_output(self, r: int, flit) -> tuple[int, int]:
+        """(out_port, downstream hop class) for a flit at router ``r``."""
+        pkt, _seq, hop_idx, _ready = flit
+        if r == pkt.route[-1]:
+            return EJECT, 0
+        nxt = pkt.route[hop_idx + 1]
+        out_port = self.port_of[r][nxt]
+        vc = min(hop_idx, self.config.num_vcs - 1)
+        return out_port, vc
+
+    def _enqueue_voq(self, r: int, in_port: int, flit) -> None:
+        out, _vc = self._desired_output(r, flit)
+        key = (in_port, out)
+        q = self.voq[r].get(key)
+        if q is None:
+            q = self.voq[r][key] = deque()
+        q.append(flit)
+        self.by_out[r].setdefault(out, set()).add(key)
+        if out != EJECT:
+            self.out_backlog[r][out] += 1
+        self.active.add(r)
+
+    # ------------------------------------------------------------------
+    # Router phase: decide every grant from cycle-start state, then apply
+    # ------------------------------------------------------------------
+    def _decide_router(self, r: int, grants: list) -> None:
+        """Append this router's grants (chosen from current state)."""
+        now = self.now
+        voq = self.voq[r]
+        by_out = self.by_out[r]
+        deg = len(self.nbrs[r])
+        num_in = self.num_in_ports[r]
+        V = self.config.num_vcs
+        # Link outputs in ascending port order, ejection last (the order
+        # latency samples are recorded in).
+        outs = [out for out in range(deg) if by_out.get(out)]
+        if by_out.get(EJECT):
+            outs.append(EJECT)
+        for out in outs:
+            max_grants = max(1, len(self.src_q[r])) if out == EJECT else 1
+            ptr = self.rr[r].get(out, 0)
+            last_granted = -1
+            granted = 0
+            for offset in range(num_in):
+                in_port = (ptr + offset) % num_in
+                q = voq.get((in_port, out))
+                if not q:
+                    continue
+                flit = q[0]
+                if flit[3] > now:
+                    continue
+                if out == EJECT:
+                    dvc = 0
+                else:
+                    dvc = min(flit[2], V - 1)
+                    if self.credits[r][out][dvc] <= 0:
+                        continue
+                grants.append((r, (in_port, out), out, dvc, flit))
+                last_granted = in_port
+                granted += 1
+                if granted >= max_grants:
+                    break
+            if last_granted >= 0:
+                self.rr[r][out] = (last_granted + 1) % num_in
+
+    def _apply_grants(self, grants: list) -> None:
+        for r, key, out, dvc, flit in grants:
+            q = self.voq[r][key]
+            q.popleft()
+            if out != EJECT:
+                self.out_backlog[r][out] -= 1
+            if not q:
+                keys = self.by_out[r][out]
+                keys.discard(key)
+                del self.voq[r][key]
+                if not keys:
+                    del self.by_out[r][out]
+            self._return_credit(r, key, flit)
+            self._forward(r, flit, out, dvc)
+
+    def _return_credit(self, r: int, key, flit) -> None:
+        in_port, _out = key
+        deg = len(self.nbrs[r])
+        if in_port >= deg:
+            # Injection-port buffer slot freed.
+            self.inj_credit[r][in_port - deg] += 1
+            if self.src_q[r][in_port - deg]:
+                self.src_active.add(r)
+            return
+        pkt, _seq, hop_idx, _ready = flit
+        upstream = pkt.route[hop_idx - 1]
+        up_out_port = self.port_of[upstream][r]
+        vc = min(hop_idx - 1, self.config.num_vcs - 1)
+        self.credits[upstream][up_out_port][vc] += 1
+
+    def _forward(self, r: int, flit, out: int, dvc: int) -> None:
+        cfg = self.config
+        pkt, seq, hop_idx, _ready = flit
+        if out == EJECT:
+            if seq == cfg.packet_size - 1:
+                pkt.t_ejected = self.now
+                if pkt.measured:
+                    # Count even if completion lands in the drain phase —
+                    # avoids survivor bias near saturation.
+                    self._stat.latencies.append(pkt.latency)
+                    self._stat.hop_counts.append(pkt.hops)
+            if self._measuring:
+                self._stat.ejected_flits += 1
+            return
+        nxt = int(self.nbrs[r][out])
+        in_port = self.rev_port[r][out]
+        ready = self.now + cfg.link_latency + cfg.router_pipeline
+        self.credits[r][out][dvc] -= 1
+        self._enqueue_voq(nxt, in_port, (pkt, seq, hop_idx + 1, ready))
+
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        self._inject()
+        self._feed_injection_ports()
+        grants: list = []
+        for r in sorted(self.active):
+            self._decide_router(r, grants)
+        self._apply_grants(grants)
+        self.active = {r for r in self.active if self.voq[r]}
+        self.now += 1

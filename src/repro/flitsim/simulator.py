@@ -1,421 +1,39 @@
-"""Cycle-accurate flit-level network simulator (BookSim substitute).
+"""Compatibility facade over the split simulator core.
 
-Microarchitectural model, matching the paper's Section VIII-A setup:
+The simulator now lives in three modules:
 
-* **Input-queued routers**, with each input port organized as virtual
-  output queues (VOQs) — the standard idealization of a VC-allocated
-  input-queued router that avoids spurious head-of-line blocking across
-  outputs.  Downstream buffer space remains partitioned per *hop class*
-  (virtual channel) with credit-based flow control.
-* **Virtual channels as hop classes**: a flit that has taken ``h`` hops
-  occupies class ``min(h-1, V-1)`` downstream.  Class indices are
-  non-decreasing along any route, so routing is deadlock-free for paths of
-  up to ``V + 1`` routers — the paper's 4 VCs cover Valiant's 4-hop worst
-  case.
-* **Source routing**: the full path is chosen at injection by a
-  :class:`~repro.routing.policies.RoutingPolicy`, which may inspect local
-  output-buffer occupancy through credits — the UGAL-L information model.
-* **Bernoulli injection** of fixed-size packets (4 flits by default), one
-  injection FIFO per endpoint; ejection bandwidth is one flit per cycle
-  per endpoint of the destination router.
-* **Warmup + measurement window** methodology, with an optional drain so
-  measured packets finishing late still contribute latency samples.
+* :mod:`repro.flitsim.engine` — :class:`SimConfig`, :class:`SimResult`,
+  the shared run loop, and :func:`make_simulator` engine selection;
+* :mod:`repro.flitsim.reference` — the readable dict-of-deques
+  :class:`NetworkSimulator` (the behavioural oracle);
+* :mod:`repro.flitsim.flatcore` — :class:`FlatSimulator`, the
+  struct-of-arrays production engine.
 
-Per-cycle work is O(active queues): only routers and VOQs that hold flits
-are visited (hpc guide: make the hot loop proportional to useful work).
+This module re-exports the historical names so existing imports keep
+working; new code should import from the specific modules (or use
+:func:`make_simulator`, which honours ``$REPRO_SIM_ENGINE``).
 """
 
-from __future__ import annotations
+from repro.flitsim.engine import (
+    DEFAULT_ENGINE,
+    EJECT,
+    ENGINE_ENV,
+    SimConfig,
+    SimResult,
+    available_engines,
+    make_simulator,
+)
+from repro.flitsim.flatcore import FlatSimulator
+from repro.flitsim.reference import NetworkSimulator
 
-from collections import deque
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.flitsim.packet import Packet
-from repro.flitsim.traffic import TrafficPattern
-from repro.routing.policies import RoutingPolicy
-from repro.topologies.base import Topology
-from repro.utils.rng import make_rng
-
-__all__ = ["SimConfig", "SimResult", "NetworkSimulator"]
-
-EJECT = -1  # sentinel output port
-
-
-@dataclass(frozen=True)
-class SimConfig:
-    """Simulator knobs (defaults are the paper's, scaled where noted)."""
-
-    #: flits per packet (paper: 4)
-    packet_size: int = 4
-    #: virtual channels (hop classes) per port (paper: 4)
-    num_vcs: int = 4
-    #: flit slots per (port, VC) buffer; the paper's 128-flit ports with 4
-    #: VCs give 32 — the scaled default keeps queueing dynamics visible at
-    #: reduced network sizes
-    vc_depth: int = 8
-    #: cycles a flit spends on a link
-    link_latency: int = 1
-    #: router pipeline latency applied on arrival before a flit may compete
-    router_pipeline: int = 2
-
-    @property
-    def port_capacity(self) -> int:
-        """Total flit capacity of one input port (all VCs)."""
-        return self.num_vcs * self.vc_depth
-
-
-@dataclass
-class SimResult:
-    """Steady-state measurements of one simulation run.
-
-    ``latencies``/``hop_counts`` accumulate as plain lists during the
-    run (appends are the hot path) and are packed into numpy arrays by
-    :meth:`finalize` when the run ends, so every statistic below is a
-    single vectorized reduction.
-    """
-
-    offered_load: float
-    cycles: int
-    num_endpoints: int
-    injected_flits: int = 0
-    ejected_flits: int = 0
-    latencies: "list | np.ndarray" = field(default_factory=list)
-    hop_counts: "list | np.ndarray" = field(default_factory=list)
-
-    def finalize(self) -> "SimResult":
-        """Pack sample lists into arrays (idempotent)."""
-        self.latencies = np.asarray(self.latencies, dtype=np.float64)
-        self.hop_counts = np.asarray(self.hop_counts, dtype=np.int64)
-        return self
-
-    @property
-    def accepted_load(self) -> float:
-        """Ejected flits per endpoint per cycle (throughput)."""
-        return self.ejected_flits / (self.cycles * self.num_endpoints)
-
-    @property
-    def avg_latency(self) -> float:
-        """Mean packet latency (cycles) over measured, delivered packets."""
-        lat = self.latencies
-        return float(np.mean(lat)) if len(lat) else float("nan")
-
-    def latency_percentile(self, pct: float) -> float:
-        """``pct``-th percentile packet latency (NaN with no samples)."""
-        lat = self.latencies
-        return float(np.percentile(lat, pct)) if len(lat) else float("nan")
-
-    @property
-    def p50_latency(self) -> float:
-        """Median packet latency."""
-        return self.latency_percentile(50)
-
-    @property
-    def p99_latency(self) -> float:
-        """99th-percentile packet latency."""
-        return self.latency_percentile(99)
-
-    @property
-    def avg_hops(self) -> float:
-        """Mean route length of measured packets."""
-        hops = self.hop_counts
-        return float(np.mean(hops)) if len(hops) else float("nan")
-
-    @property
-    def saturated(self) -> bool:
-        """Heuristic: accepted below 95% of offered indicates saturation."""
-        return self.accepted_load < 0.95 * self.offered_load
-
-
-class NetworkSimulator:
-    """Cycle-accurate simulation of one (topology, routing, traffic) point.
-
-    Also implements the :class:`~repro.routing.policies.CongestionView`
-    protocol so adaptive policies can read local output occupancy.
-    """
-
-    def __init__(
-        self,
-        topo: Topology,
-        policy: RoutingPolicy,
-        traffic: TrafficPattern,
-        load: float,
-        config: SimConfig = SimConfig(),
-        seed=0,
-    ):
-        if topo.num_endpoints == 0:
-            raise ValueError("simulation requires endpoints (concentration > 0)")
-        if not 0.0 <= load <= 1.0:
-            raise ValueError("load must be in [0, 1] (fraction of injection bw)")
-        if policy.max_hops > config.num_vcs + 1:
-            raise ValueError(
-                f"policy worst case {policy.max_hops} hops needs at least "
-                f"{policy.max_hops - 1} VCs for deadlock freedom, have "
-                f"{config.num_vcs}"
-            )
-        self.topo = topo
-        self.policy = policy
-        self.traffic = traffic
-        self.load = float(load)
-        self.config = config
-        self.rng = make_rng(seed)
-
-        graph = topo.graph
-        n = graph.n
-        self.now = 0
-        self._pid = 0
-
-        # Port maps: output i of router r leads to neighbor nbrs[r][i]; the
-        # reverse (input port index at that neighbor) is precomputed.
-        self.nbrs = [graph.neighbors(r) for r in range(n)]
-        self.port_of = [
-            {int(v): i for i, v in enumerate(self.nbrs[r])} for r in range(n)
-        ]
-        self.rev_port = [
-            [self.port_of[int(v)][r] for v in self.nbrs[r]] for r in range(n)
-        ]
-
-        V = config.num_vcs
-        # Virtual output queues: voq[r][(in_port, out_port)] -> deque of
-        # flits (packet, seq, hop_idx, ready_cycle).  Input ports
-        # 0..deg-1 are link inputs; ports deg..deg+p-1 are the endpoint
-        # injection ports (each fed from its endpoint's source FIFO at one
-        # flit per cycle, with its own finite buffer and credits).
-        self.voq: list[dict] = [dict() for _ in range(n)]
-        # by_out[r][out_port] -> set of voq keys with content for that out.
-        self.by_out: list[dict] = [dict() for _ in range(n)]
-        # credits[r][out_port][vc]: free downstream slots per hop class.
-        self.credits = [
-            [[config.vc_depth] * V for _ in self.nbrs[r]] for r in range(n)
-        ]
-        # Unbounded per-endpoint source FIFOs plus per-endpoint injection
-        # port credits (free slots in the injection input buffer).
-        self.src_q = [
-            [deque() for _ in range(int(topo.concentration[r]))] for r in range(n)
-        ]
-        self.inj_credit = [
-            [config.vc_depth] * int(topo.concentration[r]) for r in range(n)
-        ]
-        # Round-robin grant pointers per (router, out_port).
-        self.rr: list[dict] = [dict() for _ in range(n)]
-        # Routers that may have movable flits / non-empty source FIFOs.
-        self.active: set[int] = set()
-        self.src_active: set[int] = set()
-
-        self.result: "SimResult | None" = None
-        self._measuring = False
-        self._stat = SimResult(load, 0, topo.num_endpoints)
-
-    # ------------------------------------------------------------------
-    # CongestionView protocol
-    # ------------------------------------------------------------------
-    def output_occupancy(self, router: int, next_hop: int) -> int:
-        """Output-queue length estimate toward ``next_hop`` in flits.
-
-        The UGAL-L signal: downstream first-hop-class occupancy (from
-        credits) plus the flits queued in this router's own VOQs waiting
-        for that output — together, the backlog a newly injected packet
-        would sit behind.
-        """
-        port = self.port_of[router][next_hop]
-        backlog = self.config.vc_depth - self.credits[router][port][0]
-        keys = self.by_out[router].get(port)
-        if keys:
-            voq = self.voq[router]
-            backlog += sum(len(voq[k]) for k in keys)
-        return backlog
-
-    def output_capacity(self) -> int:
-        """Normalization for threshold-style adaptive decisions."""
-        return self.config.vc_depth
-
-    # ------------------------------------------------------------------
-    # Injection
-    # ------------------------------------------------------------------
-    def _inject(self) -> None:
-        cfg = self.config
-        prob = self.load / cfg.packet_size
-        if prob <= 0.0:
-            return
-        rng = self.rng
-        for r in range(self.topo.num_routers):
-            queues = self.src_q[r]
-            if not queues:
-                continue
-            draws = rng.random(len(queues)) < prob
-            if not draws.any():
-                continue
-            for e in np.flatnonzero(draws):
-                dst = self.traffic.dest_router(r, rng)
-                route = tuple(
-                    self.policy.select_route(r, dst, rng, congestion=self)
-                )
-                pkt = Packet(self._pid, route, cfg.packet_size, self.now)
-                self._pid += 1
-                pkt.measured = self._measuring
-                if pkt.measured:
-                    self._stat.injected_flits += cfg.packet_size
-                q = queues[int(e)]
-                for seq in range(cfg.packet_size):
-                    q.append((pkt, seq, 0, self.now))
-                self.src_active.add(r)
-
-    def _feed_injection_ports(self) -> None:
-        """Move flits from source FIFOs into injection-port VOQs.
-
-        One flit per endpoint per cycle (the injection channel rate),
-        subject to injection-buffer credits.
-        """
-        deg_of = self.nbrs
-        done: list[int] = []
-        for r in self.src_active:
-            any_left = False
-            deg = len(deg_of[r])
-            credits = self.inj_credit[r]
-            for e, q in enumerate(self.src_q[r]):
-                if not q:
-                    continue
-                if credits[e] > 0:
-                    credits[e] -= 1
-                    self._enqueue_voq(r, deg + e, q.popleft())
-                if q:
-                    any_left = True
-            if not any_left:
-                done.append(r)
-        self.src_active.difference_update(done)
-
-    # ------------------------------------------------------------------
-    # Queue plumbing
-    # ------------------------------------------------------------------
-    def _desired_output(self, r: int, flit) -> tuple[int, int]:
-        """(out_port, downstream hop class) for a flit at router ``r``."""
-        pkt, _seq, hop_idx, _ready = flit
-        if r == pkt.route[-1]:
-            return EJECT, 0
-        nxt = pkt.route[hop_idx + 1]
-        out_port = self.port_of[r][nxt]
-        vc = min(hop_idx, self.config.num_vcs - 1)
-        return out_port, vc
-
-    def _enqueue_voq(self, r: int, in_port: int, flit) -> None:
-        out, _vc = self._desired_output(r, flit)
-        key = (in_port, out)
-        q = self.voq[r].get(key)
-        if q is None:
-            q = self.voq[r][key] = deque()
-        q.append(flit)
-        self.by_out[r].setdefault(out, set()).add(key)
-        self.active.add(r)
-
-    # ------------------------------------------------------------------
-    # One cycle
-    # ------------------------------------------------------------------
-    def _step_router(self, r: int) -> bool:
-        now = self.now
-        by_out = self.by_out[r]
-        voq = self.voq[r]
-        any_content = False
-
-        # One grant per output per cycle (ejection gets one per endpoint).
-        for out in list(by_out.keys()):
-            keys = by_out[out]
-            if not keys:
-                del by_out[out]
-                continue
-            any_content = True
-            grants = max(1, len(self.src_q[r])) if out == EJECT else 1
-            key_list = sorted(keys)
-            ptr = self.rr[r].get(out, 0) % len(key_list)
-            key_list = key_list[ptr:] + key_list[:ptr]
-            granted = 0
-            for key in key_list:
-                if granted >= grants:
-                    break
-                q = voq[key]
-                flit = q[0]
-                if flit[3] > now:
-                    continue
-                _out, dvc = self._desired_output(r, flit)
-                if out != EJECT and self.credits[r][out][dvc] <= 0:
-                    continue
-                q.popleft()
-                if not q:
-                    keys.discard(key)
-                    del voq[key]
-                self._return_credit(r, key, flit)
-                self._forward(r, flit, out, dvc)
-                granted += 1
-            self.rr[r][out] = self.rr[r].get(out, 0) + granted
-
-        return any_content
-
-    def _return_credit(self, r: int, key, flit) -> None:
-        in_port, _out = key
-        deg = len(self.nbrs[r])
-        if in_port >= deg:
-            # Injection-port buffer slot freed.
-            self.inj_credit[r][in_port - deg] += 1
-            if self.src_q[r][in_port - deg]:
-                self.src_active.add(r)
-            return
-        pkt, _seq, hop_idx, _ready = flit
-        upstream = pkt.route[hop_idx - 1]
-        up_out_port = self.port_of[upstream][r]
-        vc = min(hop_idx - 1, self.config.num_vcs - 1)
-        self.credits[upstream][up_out_port][vc] += 1
-
-    def _forward(self, r: int, flit, out: int, dvc: int) -> None:
-        cfg = self.config
-        pkt, seq, hop_idx, _ready = flit
-        if out == EJECT:
-            if seq == cfg.packet_size - 1:
-                pkt.t_ejected = self.now
-                if pkt.measured:
-                    # Count even if completion lands in the drain phase —
-                    # avoids survivor bias near saturation.
-                    self._stat.latencies.append(pkt.latency)
-                    self._stat.hop_counts.append(pkt.hops)
-            if self._measuring:
-                self._stat.ejected_flits += 1
-            return
-        nxt = int(self.nbrs[r][out])
-        in_port = self.rev_port[r][out]
-        ready = self.now + cfg.link_latency + cfg.router_pipeline
-        self.credits[r][out][dvc] -= 1
-        self._enqueue_voq(nxt, in_port, (pkt, seq, hop_idx + 1, ready))
-
-    def step(self) -> None:
-        """Advance the simulation by one cycle."""
-        self._inject()
-        self._feed_injection_ports()
-        # Swap in a fresh active set before processing: routers that
-        # receive flits during this cycle (via _forward) are re-activated
-        # into it, so nothing is lost when the snapshot is replaced.
-        snapshot = self.active
-        self.active = set()
-        for r in snapshot:
-            if self._step_router(r):
-                self.active.add(r)
-        self.now += 1
-
-    # ------------------------------------------------------------------
-    # Runs
-    # ------------------------------------------------------------------
-    def run(self, warmup: int = 600, measure: int = 1200, drain: int = 300) -> SimResult:
-        """Warm up, measure, optionally drain; returns the window's stats."""
-        for _ in range(warmup):
-            self.step()
-        self._measuring = True
-        start = self.now
-        for _ in range(measure):
-            self.step()
-        self._stat.cycles = self.now - start
-        self._measuring = False
-        if drain:
-            saved_load, self.load = self.load, 0.0
-            for _ in range(drain):
-                self.step()
-            self.load = saved_load
-        self.result = self._stat.finalize()
-        return self._stat
+__all__ = [
+    "SimConfig",
+    "SimResult",
+    "NetworkSimulator",
+    "FlatSimulator",
+    "make_simulator",
+    "available_engines",
+    "ENGINE_ENV",
+    "DEFAULT_ENGINE",
+    "EJECT",
+]

@@ -1,10 +1,14 @@
 """Telemetry: per-link utilization and queue-depth sampling.
 
-Wraps a :class:`~repro.flitsim.simulator.NetworkSimulator` run with
+Wraps a :class:`~repro.flitsim.reference.NetworkSimulator` run with
 counters a network operator would scrape: flits carried per directed
 link, buffer occupancy samples, and derived hot-spot reports.  Used by
 the adversarial-traffic analyses to show *where* min-path routing
 concentrates load (the mechanistic story behind Figure 9).
+
+Telemetry instruments the *reference* engine (it hooks the per-flit
+forward step, which the flat engine deliberately doesn't have); the two
+engines are result-equivalent, so what it observes holds for both.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.flitsim.simulator import NetworkSimulator
+from repro.flitsim.reference import NetworkSimulator
 
 __all__ = ["LinkTelemetry", "run_with_telemetry"]
 
@@ -75,6 +79,11 @@ def run_with_telemetry(
     intercepting the simulator's forward step; occupancy is sampled every
     ``sample_every`` cycles from credit state.
     """
+    if not isinstance(sim, NetworkSimulator):
+        raise TypeError(
+            "run_with_telemetry instruments the reference engine; construct "
+            "a repro.flitsim.reference.NetworkSimulator for telemetry runs"
+        )
     telemetry = LinkTelemetry(
         cycles=measure, num_directed_links=2 * sim.topo.num_links
     )

@@ -52,10 +52,28 @@ class TrafficPattern:
             terminals = np.arange(topo.num_routers)
         self.terminals = terminals
         self._pos = {int(t): i for i, t in enumerate(terminals)}
+        # Array form of _pos for the batched/vectorized path.
+        self._pos_arr = np.full(topo.num_routers, -1, dtype=np.int64)
+        self._pos_arr[terminals] = np.arange(terminals.size)
 
     def dest_router(self, src_router: int, rng) -> int:
         """Destination router for a packet injected at ``src_router``."""
         raise NotImplementedError
+
+    def dest_routers(self, src_routers, rng) -> np.ndarray:
+        """Destination routers for a batch of same-cycle injections.
+
+        The simulator's injection entry point (both engines): one call
+        per cycle with all Bernoulli winners, in endpoint order.  The
+        base implementation draws per source in order; patterns override
+        it with a single vectorized RNG draw where possible.  A pattern's
+        RNG consumption is defined by *this* method — scalar
+        :meth:`dest_router` need not consume the stream identically.
+        """
+        out = np.empty(len(src_routers), dtype=np.int64)
+        for i, src in enumerate(src_routers):
+            out[i] = self.dest_router(int(src), rng)
+        return out
 
 
 class UniformTraffic(TrafficPattern):
@@ -68,6 +86,12 @@ class UniformTraffic(TrafficPattern):
         d = int(rng.integers(t.size - 1))
         pos = self._pos[src_router]
         return int(t[d if d < pos else d + 1])
+
+    def dest_routers(self, src_routers, rng) -> np.ndarray:
+        t = self.terminals
+        d = rng.integers(t.size - 1, size=len(src_routers))
+        pos = self._pos_arr[np.asarray(src_routers, dtype=np.int64)]
+        return t[np.where(d < pos, d, d + 1)]
 
 
 class PermutationTraffic(TrafficPattern):
@@ -87,6 +111,10 @@ class PermutationTraffic(TrafficPattern):
 
     def dest_router(self, src_router: int, rng) -> int:
         return int(self.mapping[self._pos[src_router]])
+
+    def dest_routers(self, src_routers, rng) -> np.ndarray:
+        # Fixed mapping: no RNG draws in either scalar or batched form.
+        return self.mapping[self._pos_arr[np.asarray(src_routers, dtype=np.int64)]]
 
 
 class TornadoTraffic(PermutationTraffic):

@@ -43,6 +43,8 @@ __all__ = [
     "UGALRouting",
     "UGALPFRouting",
     "FatTreeNCARouting",
+    "routes_as_matrix",
+    "iter_routes",
 ]
 
 
@@ -51,6 +53,10 @@ class CongestionView(Protocol):
 
     def output_occupancy(self, router: int, next_hop: int) -> int:
         """Flits currently occupying the output buffer toward ``next_hop``."""
+        ...
+
+    def output_occupancies(self, routers, next_hops) -> np.ndarray:
+        """Batched :meth:`output_occupancy` over parallel index arrays."""
         ...
 
     def output_capacity(self) -> int:
@@ -64,11 +70,75 @@ class _ZeroCongestion:
     def output_occupancy(self, router: int, next_hop: int) -> int:
         return 0
 
+    def output_occupancies(self, routers, next_hops) -> np.ndarray:
+        return np.zeros(len(routers), dtype=np.int64)
+
     def output_capacity(self) -> int:
         return 1
 
 
 ZERO_CONGESTION = _ZeroCongestion()
+
+
+# ----------------------------------------------------------------------
+# Route-batch plumbing
+# ----------------------------------------------------------------------
+# ``select_routes`` may return either a plain list of paths or a
+# ``(paths, lens)`` padded-matrix pair (the vectorized policies do).
+# The two helpers below are how the engines consume either form.
+def routes_as_matrix(routes) -> tuple:
+    """Normalize a ``select_routes`` result to a padded ``(paths, lens)``.
+
+    Identity for the matrix form the vectorized policies return; list
+    results are packed into a fresh padded matrix.
+    """
+    if isinstance(routes, tuple):
+        return routes
+    lens = np.fromiter((len(r) for r in routes), count=len(routes), dtype=np.int64)
+    paths = np.zeros((len(routes), int(lens.max()) if len(routes) else 1),
+                     dtype=np.int64)
+    for i, route in enumerate(routes):
+        paths[i, : len(route)] = route
+    return paths, lens
+
+
+def iter_routes(routes):
+    """Iterate a ``select_routes`` result as per-packet router tuples."""
+    if isinstance(routes, tuple):
+        paths, lens = routes
+        for i in range(lens.size):
+            yield tuple(paths[i, : lens[i]])
+    else:
+        for r in routes:
+            yield tuple(r)
+
+
+def _splice(first_mat, first_lens, second_mat, second_lens) -> tuple:
+    """Join two path batches at their shared middle router, row-wise."""
+    k = first_lens.size
+    lens = first_lens + second_lens - 1
+    width = int(lens.max())
+    paths = np.zeros((k, width), dtype=np.int64)
+    paths[:, : first_mat.shape[1]] = first_mat
+    cols = np.arange(second_mat.shape[1])[None, :]
+    pos = (first_lens - 1)[:, None] + cols
+    valid = cols < second_lens[:, None]
+    rows = np.broadcast_to(np.arange(k)[:, None], pos.shape)
+    paths[rows[valid], pos[valid]] = second_mat[valid]
+    return paths, lens
+
+
+def _overlay(base_mat, base_lens, rows, alt_mat, alt_lens) -> tuple:
+    """Replace ``rows`` of a path batch with rows of an alternative."""
+    if rows.size == 0:
+        return base_mat, base_lens
+    if alt_mat.shape[1] > base_mat.shape[1]:
+        wide = np.zeros((base_mat.shape[0], alt_mat.shape[1]), dtype=np.int64)
+        wide[:, : base_mat.shape[1]] = base_mat
+        base_mat = wide
+    base_mat[rows, : alt_mat.shape[1]] = alt_mat
+    base_lens[rows] = alt_lens
+    return base_mat, base_lens
 
 
 class RoutingPolicy:
@@ -87,6 +157,26 @@ class RoutingPolicy:
         """Return the router path ``[src, ..., dst]`` for a new packet."""
         raise NotImplementedError
 
+    def select_routes(
+        self, srcs, dsts, rng, congestion: CongestionView = ZERO_CONGESTION
+    ):
+        """Routes for a batch of same-cycle injections, in order.
+
+        The simulator's per-cycle entry point (both engines call it once
+        with all Bernoulli winners), and the method that *defines* a
+        policy's RNG-consumption protocol — vectorized overrides draw in
+        batch order, so they need not consume the stream like repeated
+        scalar :meth:`select_route` calls would.
+
+        May return a list of paths or a padded ``(paths, lens)`` matrix
+        pair; engines consume either via :func:`routes_as_matrix` /
+        :func:`iter_routes`.  The default selects sequentially.
+        """
+        return [
+            self.select_route(int(s), int(d), rng, congestion)
+            for s, d in zip(srcs, dsts)
+        ]
+
     # Helper: shortest path with random ECMP tie-breaks.
     def _sp(self, src: int, dst: int, rng) -> list[int]:
         return self.tables.shortest_path(src, dst, rng=rng)
@@ -101,6 +191,9 @@ class MinimalRouting(RoutingPolicy):
 
     def select_route(self, src, dst, rng, congestion=ZERO_CONGESTION):
         return self._sp(src, dst, rng)
+
+    def select_routes(self, srcs, dsts, rng, congestion=ZERO_CONGESTION):
+        return self.tables.shortest_paths_batch(srcs, dsts, rng)
 
 
 class ValiantRouting(RoutingPolicy):
@@ -117,11 +210,31 @@ class ValiantRouting(RoutingPolicy):
             if r != src and r != dst:
                 return r
 
+    def random_intermediates(self, srcs, dsts, rng) -> np.ndarray:
+        """Batched intermediates: draw all, redraw collisions until clean."""
+        n = self.topo.num_routers
+        mids = rng.integers(n, size=srcs.size)
+        while True:
+            bad = np.flatnonzero((mids == srcs) | (mids == dsts))
+            if bad.size == 0:
+                return mids
+            mids[bad] = rng.integers(n, size=bad.size)
+
     def select_route(self, src, dst, rng, congestion=ZERO_CONGESTION):
         mid = self.random_intermediate(src, dst, rng)
         first = self._sp(src, mid, rng)
         second = self._sp(mid, dst, rng)
         return first + second[1:]
+
+    def select_routes(self, srcs, dsts, rng, congestion=ZERO_CONGESTION):
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        if srcs.size == 0:
+            return np.empty((0, 1), np.int64), np.empty(0, np.int64)
+        mids = self.random_intermediates(srcs, dsts, rng)
+        first = self.tables.shortest_paths_batch(srcs, mids, rng)
+        second = self.tables.shortest_paths_batch(mids, dsts, rng)
+        return _splice(*first, *second)
 
 
 class CompactValiantRouting(ValiantRouting):
@@ -131,11 +244,16 @@ class CompactValiantRouting(ValiantRouting):
     4.  When source and destination are adjacent the neighbor detour could
     bounce packets back through the source, so the general Valiant
     intermediate is used instead (as the paper prescribes).
+
+    ``max_hops`` is therefore the *general* Valiant bound ``2 * diameter``:
+    the neighbor detour itself needs only ``1 + diameter``, but the
+    adjacent-pair fallback can use the full Valiant worst case (on the
+    paper's diameter-2 networks both bounds are 4).
     """
 
     def __init__(self, tables: RoutingTables):
         super().__init__(tables)
-        self.max_hops = 1 + int(tables.dist.max()) + 1
+        self.max_hops = 2 * int(tables.dist.max())
 
     def select_route(self, src, dst, rng, congestion=ZERO_CONGESTION):
         if self.tables.distance(src, dst) <= 1:
@@ -146,6 +264,44 @@ class CompactValiantRouting(ValiantRouting):
             return self._sp(src, dst, rng)
         tail = self._sp(mid, dst, rng)
         return [src] + tail
+
+    def select_routes(self, srcs, dsts, rng, congestion=ZERO_CONGESTION):
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        k = srcs.size
+        if k == 0:
+            return np.empty((0, 1), np.int64), np.empty(0, np.int64)
+        dist = self.tables.dist[srcs, dsts].astype(np.int64)
+        far = np.flatnonzero(dist > 1)
+        adj = np.flatnonzero(dist <= 1)
+        lens = np.empty(k, dtype=np.int64)
+        pieces = []
+        if far.size:
+            # Neighbor intermediate (cannot equal dst: dist > 1) + tail.
+            graph = self.topo.graph
+            src_far = srcs[far]
+            start = graph.indptr[src_far]
+            degree = graph.indptr[src_far + 1] - start
+            mids = graph.indices[start + rng.integers(degree)]
+            tail_mat, tail_lens = self.tables.shortest_paths_batch(
+                mids, dsts[far], rng
+            )
+            far_mat = np.empty((far.size, tail_mat.shape[1] + 1), dtype=np.int64)
+            far_mat[:, 0] = src_far
+            far_mat[:, 1:] = tail_mat
+            lens[far] = tail_lens + 1
+            pieces.append((far, far_mat))
+        if adj.size:
+            # Adjacent pairs fall back to general Valiant, batched.
+            adj_mat, adj_lens = ValiantRouting.select_routes(
+                self, srcs[adj], dsts[adj], rng, congestion
+            )
+            lens[adj] = adj_lens
+            pieces.append((adj, adj_mat))
+        paths = np.zeros((k, int(lens.max())), dtype=np.int64)
+        for rows, mat in pieces:
+            paths[rows, : mat.shape[1]] = mat
+        return paths, lens
 
 
 class UGALRouting(RoutingPolicy):
@@ -178,6 +334,28 @@ class UGALRouting(RoutingPolicy):
             return val_path
         return min_path
 
+    def _valiant_candidates_batch(self, srcs, dsts, rng, congestion):
+        return self.valiant.select_routes(srcs, dsts, rng, congestion)
+
+    def select_routes(self, srcs, dsts, rng, congestion=ZERO_CONGESTION):
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        if srcs.size == 0:
+            return np.empty((0, 1), np.int64), np.empty(0, np.int64)
+        min_mat, min_lens = self.tables.shortest_paths_batch(srcs, dsts, rng)
+        cand = np.flatnonzero(min_lens > 1)
+        if cand.size == 0:
+            return min_mat, min_lens
+        val_mat, val_lens = self._valiant_candidates_batch(
+            srcs[cand], dsts[cand], rng, congestion
+        )
+        q_min = congestion.output_occupancies(srcs[cand], min_mat[cand, 1])
+        q_val = congestion.output_occupancies(srcs[cand], val_mat[:, 1])
+        divert = q_min * (min_lens[cand] - 1) > q_val * (val_lens - 1) + self.bias
+        return _overlay(
+            min_mat, min_lens, cand[divert], val_mat[divert], val_lens[divert]
+        )
+
 
 class UGALGRouting(UGALRouting):
     """UGAL-G: the globally-informed UGAL upper bound.
@@ -207,6 +385,11 @@ class UGALGRouting(UGALRouting):
             return val_path
         return min_path
 
+    def select_routes(self, srcs, dsts, rng, congestion=ZERO_CONGESTION):
+        # Whole-path costs don't vectorize over the local view; the
+        # idealized baseline keeps the sequential default.
+        return RoutingPolicy.select_routes(self, srcs, dsts, rng, congestion)
+
 
 class UGALPFRouting(UGALRouting):
     """UGAL_PF (Section VII-C): Compact Valiant + adaptation threshold.
@@ -235,6 +418,33 @@ class UGALPFRouting(UGALRouting):
         if occ_frac <= self.threshold:
             return min_path
         return super().select_route(src, dst, rng, congestion)
+
+    def _valiant_candidates_batch(self, srcs, dsts, rng, congestion):
+        return self.compact.select_routes(srcs, dsts, rng, congestion)
+
+    def select_routes(self, srcs, dsts, rng, congestion=ZERO_CONGESTION):
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        if srcs.size == 0:
+            return np.empty((0, 1), np.int64), np.empty(0, np.int64)
+        min_mat, min_lens = self.tables.shortest_paths_batch(srcs, dsts, rng)
+        multi = np.flatnonzero(min_lens > 1)
+        if multi.size == 0:
+            return min_mat, min_lens
+        occ = congestion.output_occupancies(srcs[multi], min_mat[multi, 1])
+        over = occ > self.threshold * max(congestion.output_capacity(), 1)
+        cand = multi[over]
+        if cand.size == 0:
+            return min_mat, min_lens
+        val_mat, val_lens = self._valiant_candidates_batch(
+            srcs[cand], dsts[cand], rng, congestion
+        )
+        q_min = occ[over]
+        q_val = congestion.output_occupancies(srcs[cand], val_mat[:, 1])
+        divert = q_min * (min_lens[cand] - 1) > q_val * (val_lens - 1) + self.bias
+        return _overlay(
+            min_mat, min_lens, cand[divert], val_mat[divert], val_lens[divert]
+        )
 
 
 class FatTreeNCARouting(RoutingPolicy):

@@ -37,6 +37,12 @@ class RoutingTables:
         for s in range(n):
             dist[s] = graph.bfs_distances(s)
         self.dist = dist
+        # Lazily-built CSR of minimal next-hop candidates per (src, dst)
+        # pair, for the batched path extractor.
+        self._min_hop_csr: "tuple | None" = None
+        # Lazily-built dense cache of the pairs whose shortest path is
+        # unique (no ECMP tie anywhere along it).
+        self._unique_paths: "tuple | None" = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -64,10 +70,134 @@ class RoutingTables:
         rng = make_rng(rng) if rng is not None else None
         while cur != dst:
             hops = self.min_next_hops(cur, dst)
-            cur = int(hops[0] if rng is None else rng.choice(hops))
+            # integers() is much cheaper than rng.choice for the
+            # per-hop tie-break on this per-packet hot path.
+            cur = int(hops[0] if rng is None else hops[rng.integers(hops.size)])
             path.append(cur)
         return path
 
     def path_length(self, path: list[int]) -> int:
         """Hop count of a router path."""
         return len(path) - 1
+
+    # ------------------------------------------------------------------
+    # Batched extraction (the per-cycle routing hot path)
+    # ------------------------------------------------------------------
+    def _candidate_csr(self) -> tuple:
+        """CSR of minimal next hops per (src, dst) pair, built on demand.
+
+        ``indptr`` has ``n*n + 1`` entries indexed by ``src*n + dst``;
+        ``data`` lists the candidate neighbors in ascending id order (so
+        candidate 0 matches the deterministic scalar path).
+        """
+        if self._min_hop_csr is None:
+            graph = self.topo.graph
+            n = graph.n
+            dist = self.dist
+            indptr = np.zeros(n * n + 1, dtype=np.int64)
+            chunks = []
+            for s in range(n):
+                nbrs = graph.neighbors(s)
+                on_path = dist[nbrs, :] == dist[s, :][None, :] - 1
+                dst_idx, nbr_idx = np.nonzero(on_path.T)
+                indptr[s * n + 1 : s * n + n + 1] = np.bincount(
+                    dst_idx, minlength=n
+                )
+                chunks.append(nbrs[nbr_idx].astype(np.int64))
+            np.cumsum(indptr, out=indptr)
+            data = np.concatenate(chunks) if chunks else np.empty(0, np.int64)
+            self._min_hop_csr = (indptr, data)
+        return self._min_hop_csr
+
+    def _unique_path_cache(self) -> tuple:
+        """Dense ``(paths, lens, unique)`` cache over all pairs, lazily.
+
+        ``unique[pair]`` marks pairs whose shortest path has no ECMP tie
+        at any step; for those, ``paths[pair]`` is *the* path and batched
+        extraction is a single gather with zero RNG draws (the batch
+        protocol only draws where there is a tie to break).  Pairs with
+        ties are never served from the cache.
+        """
+        if self._unique_paths is None:
+            n = self.topo.num_routers
+            indptr, data = self._candidate_csr()
+            width = int(self.dist.max()) + 1
+            lens = self.dist.ravel().astype(np.int64) + 1
+            paths = np.zeros((n * n, width), dtype=np.int64)
+            srcs = np.repeat(np.arange(n, dtype=np.int64), n)
+            dsts = np.tile(np.arange(n, dtype=np.int64), n)
+            paths[:, 0] = srcs
+            unique = np.ones(n * n, dtype=bool)
+            cur = srcs.copy()
+            for col in range(1, width):
+                act = lens > col
+                pair = cur[act] * n + dsts[act]
+                start = indptr[pair]
+                unique[act] &= indptr[pair + 1] - start == 1
+                nxt = data[start]
+                cur[act] = nxt
+                paths[act, col] = nxt
+            self._unique_paths = (paths, lens, unique)
+        return self._unique_paths
+
+    def shortest_paths_batch(self, srcs, dsts, rng=None) -> tuple:
+        """Vectorized ECMP shortest paths for a batch of (src, dst) pairs.
+
+        Returns ``(paths, lens)``: a ``[k, max_len]`` int matrix whose
+        row ``i`` holds the path in columns ``0..lens[i]-1`` (columns
+        beyond a row's length are unspecified).  With ``rng`` the
+        tie-break at every step is a uniform candidate draw (one
+        vectorized ``integers`` call per path column across the batch);
+        without it the lowest-id candidate is taken, matching scalar
+        :meth:`shortest_path`'s deterministic mode.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        k = srcs.size
+        n = self.topo.num_routers
+        if k and n * n <= 4_000_000:
+            # Serve the batch from the unique-path cache when no row
+            # needs a tie-break — draw-free, so RNG-stream identical.
+            cache_paths, cache_lens, unique = self._unique_path_cache()
+            pairs = srcs * n + dsts
+            if unique[pairs].all():
+                lens = cache_lens[pairs]
+                # Trim to this batch's width so callers see the same
+                # shape contract as the general extractor.
+                return cache_paths[pairs][:, : int(lens.max())], lens
+        lens = self.dist[srcs, dsts].astype(np.int64) + 1
+        if k == 0:
+            return np.empty((0, 1), dtype=np.int64), lens
+        indptr, data = self._candidate_csr()
+        max_len = int(lens.max())
+        paths = np.empty((k, max_len), dtype=np.int64)
+        paths[:, 0] = srcs
+        cur = srcs
+        for col in range(1, max_len):
+            # A row is still walking while col < lens - 1 + 1.
+            act = np.flatnonzero(lens > col)
+            whole = act.size == cur.size
+            pair = (cur if whole else cur[act]) * n + (
+                dsts if whole else dsts[act]
+            )
+            start = indptr[pair]
+            count = indptr[pair + 1] - start
+            # Draw tie-breaks only where there is a tie to break: unique
+            # shortest paths (the common case on PolarFly) cost no RNG.
+            pick = 0
+            if rng is not None:
+                multi = np.flatnonzero(count > 1)
+                if multi.size:
+                    pick = np.zeros(pair.size, dtype=np.int64)
+                    pick[multi] = rng.integers(count[multi])
+            nxt = data[start + pick]
+            if whole and col + 1 < max_len:
+                cur = nxt
+                paths[:, col] = nxt
+            else:
+                if not whole:
+                    full = cur.copy() if cur is srcs else cur
+                    full[act] = nxt
+                    cur = full
+                paths[act, col] = nxt
+        return paths, lens

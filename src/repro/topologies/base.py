@@ -87,6 +87,11 @@ class Topology:
         """Router hosting ``endpoint``."""
         return int(self._endpoint_router[endpoint])
 
+    @property
+    def endpoint_routers(self) -> np.ndarray:
+        """Hosting router of every endpoint (length ``num_endpoints``)."""
+        return self._endpoint_router
+
     def router_endpoints(self, router: int) -> np.ndarray:
         """Endpoint ids hosted at ``router``."""
         return np.arange(

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""CLI for the engine perf harness — writes BENCH_flitsim.json.
+
+    PYTHONPATH=src python tools/bench.py [--out PATH] [--measure N]
+        [--warmup N] [--cells name,name] [--check RATIO]
+
+``--check RATIO`` exits nonzero when any benchmarked cell's
+flat-over-reference speedup falls below RATIO — the CI perf job runs
+with ``--check 1.0`` so a regression that makes the flat engine slower
+than the reference fails the build.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.experiments.perfbench import (  # noqa: E402
+    CANONICAL_CELLS,
+    run_benchmarks,
+    write_bench_json,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_flitsim.json")
+    parser.add_argument("--warmup", type=int, default=150)
+    parser.add_argument("--measure", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--cells",
+        default=None,
+        help="comma-separated cell names (default: all canonical cells)",
+    )
+    parser.add_argument(
+        "--check",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="fail (exit 1) if any cell's flat/reference speedup < RATIO",
+    )
+    args = parser.parse_args(argv)
+
+    cells = CANONICAL_CELLS
+    if args.cells:
+        names = [c.strip() for c in args.cells.split(",") if c.strip()]
+        unknown = sorted(set(names) - set(CANONICAL_CELLS))
+        if unknown:
+            parser.error(
+                f"unknown cells {unknown}; have {sorted(CANONICAL_CELLS)}"
+            )
+        cells = {name: CANONICAL_CELLS[name] for name in names}
+
+    doc = run_benchmarks(
+        cells=cells, warmup=args.warmup, measure=args.measure, seed=args.seed
+    )
+    path = write_bench_json(doc, args.out)
+
+    failed = []
+    for name, cell in doc["cells"].items():
+        ref = cell["engines"]["reference"]["cycles_per_sec"]
+        flat = cell["engines"]["flat"]["cycles_per_sec"]
+        speedup = cell["speedup_flat_over_reference"]
+        print(
+            f"{name:28s} reference {ref:9.0f} c/s   flat {flat:9.0f} c/s   "
+            f"speedup {speedup:.2f}x"
+        )
+        if args.check is not None and speedup < args.check:
+            failed.append((name, speedup))
+    print(f"wrote {path}")
+    if failed:
+        for name, speedup in failed:
+            print(
+                f"FAIL: {name} speedup {speedup:.2f}x < required {args.check:.2f}x",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
