@@ -74,8 +74,10 @@ def link_failure_sweep(
     ratios, diams, aspls = [], [], []
     for ratio in steps:
         kill = int(round(ratio * edges.shape[0]))
-        doomed = [tuple(map(int, edges[i])) for i in order[:kill]]
-        g = graph.remove_edges(doomed)
+        # The doomed set ships as an array slice: remove_edges and the
+        # Graph constructor both take the vectorized path, so a
+        # checkpoint costs no Python loop over the edge set.
+        g = graph.remove_edges(edges[order[:kill]])
         d = g.diameter(sample=sample_sources, rng=rng)
         ratios.append(float(ratio))
         diams.append(d)

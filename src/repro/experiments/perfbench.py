@@ -1,13 +1,18 @@
 """Engine performance harness: the repo's perf-baseline trajectory.
 
 Times both simulation engines (the struct-of-arrays flat core and the
-dict-of-deques reference) on a small set of canonical cells and writes
-``BENCH_flitsim.json`` — cycles/sec per engine, wall times, speedups,
-and machine info — so every future hot-path change is measured against
-a recorded baseline instead of asserted.
+dict-of-deques reference) on a small set of canonical cells, plus the
+*construction* path — topology build, :class:`RoutingTables` (batched
+all-pairs BFS), candidate CSR, unique-path cache, and
+:class:`FlatFabric` — at q ∈ {7, 19, 31}, against the seed per-source
+builders.  Everything is written to ``BENCH_flitsim.json`` — cycles/sec
+per engine, construction walls, speedups, and machine info — so every
+future hot-path change is measured against a recorded baseline instead
+of asserted.
 
 Used by ``benchmarks/perf_smoke.py`` (pytest-free script), ``tools/bench.py``
-(CLI with a ``--check`` gate for CI), and importable directly.
+(CLI with ``--check`` / ``--check-construction`` gates for CI), and
+importable directly.
 """
 
 from __future__ import annotations
@@ -24,7 +29,11 @@ from repro.flitsim.engine import make_simulator
 __all__ = [
     "CANONICAL_CELLS",
     "HEADLINE_CELL",
+    "CONSTRUCTION_SPECS",
+    "CONSTRUCTION_GATE",
     "bench_cell",
+    "bench_construction_spec",
+    "run_construction_benchmarks",
     "run_benchmarks",
     "machine_info",
     "write_bench_json",
@@ -49,6 +58,18 @@ CANONICAL_CELLS = {
 }
 
 HEADLINE_CELL = "fig09_pf_ugalpf_uniform"
+
+#: The construction-trajectory topologies: the paper's headline PolarFly
+#: sizes from the q=7 toy (N=57) through the large-radix regime the
+#: batched builders unlock (q=31: N=993, ~1M router pairs).
+CONSTRUCTION_SPECS = {
+    "pf_q7": "polarfly:conc=2,q=7",
+    "pf_q19": "polarfly:conc=2,q=19",
+    "pf_q31": "polarfly:conc=2,q=31",
+}
+
+#: the construction entry the CI regression gate checks
+CONSTRUCTION_GATE = "pf_q19"
 
 
 def machine_info() -> dict:
@@ -108,12 +129,101 @@ def bench_cell(
     return result
 
 
+def _timed(fn, *args, repeats: int = 1):
+    """(result, best wall seconds) of calling ``fn`` ``repeats`` times."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def bench_construction_spec(
+    spec: str, baseline: bool = True, repeats: int = 1
+) -> dict:
+    """Time the construction path of one topology spec.
+
+    Measures the batched builders — topology construction,
+    :class:`RoutingTables` (one batched all-sources BFS), the vectorized
+    candidate CSR, the unique-path cache (when enabled), and
+    :class:`FlatFabric` — and, with ``baseline``, the seed per-source
+    equivalents (``bfs_distances_reference`` per source,
+    :func:`per_source_candidate_csr`), recording the speedups.
+    """
+    from repro.flitsim.flatcore import FlatFabric
+    from repro.routing.tables import RoutingTables, per_source_candidate_csr
+    from repro.utils.graph import bfs_distances_reference
+
+    topo, topo_s = _timed(lambda: TOPOLOGIES.create(spec), repeats=repeats)
+    tables, tables_s = _timed(lambda: RoutingTables(topo), repeats=repeats)
+
+    def fresh_csr():
+        # Reset the lazy CSR instead of rebuilding the whole table —
+        # times the identical code path without re-paying the BFS.
+        tables._min_hop_csr = None
+        start = time.perf_counter()
+        tables._candidate_csr()
+        return time.perf_counter() - start
+
+    csr_s = min(fresh_csr() for _ in range(repeats))
+    _, fabric_s = _timed(lambda: FlatFabric(topo), repeats=repeats)
+
+    entry = {
+        "spec": spec,
+        "num_routers": topo.num_routers,
+        "num_links": topo.num_links,
+        "topology_s": topo_s,
+        "routing_tables": {"batched_s": tables_s},
+        "candidate_csr": {"batched_s": csr_s},
+        "fabric_s": fabric_s,
+    }
+    if tables._path_cache_enabled():
+        # The CSR is already built (fresh_csr's last pass), so this
+        # times the cache walk alone, not the CSR build again.
+        _, cache_s = _timed(tables._unique_path_cache, repeats=1)
+        entry["path_cache_s"] = cache_s
+    if baseline:
+        graph = topo.graph
+
+        def per_source_bfs():
+            for s in range(graph.n):
+                bfs_distances_reference(graph, s)
+
+        # Same best-of-``repeats`` sampling as the batched timings, so
+        # the recorded speedups aren't inflated by one noisy baseline.
+        _, per_source_s = _timed(per_source_bfs, repeats=repeats)
+        rt = entry["routing_tables"]
+        rt["per_source_s"] = per_source_s
+        rt["speedup_batched_over_per_source"] = per_source_s / tables_s
+        _, csr_ps = _timed(
+            per_source_candidate_csr, graph, tables.dist, repeats=repeats
+        )
+        cc = entry["candidate_csr"]
+        cc["per_source_s"] = csr_ps
+        cc["speedup_batched_over_per_source"] = csr_ps / csr_s
+    return entry
+
+
+def run_construction_benchmarks(
+    specs: "dict | None" = None, baseline: bool = True, repeats: int = 2
+) -> dict:
+    """The ``construction`` section of ``BENCH_flitsim.json``."""
+    specs = CONSTRUCTION_SPECS if specs is None else specs
+    return {
+        name: bench_construction_spec(spec, baseline=baseline, repeats=repeats)
+        for name, spec in specs.items()
+    }
+
+
 def run_benchmarks(
     cells: "dict | None" = None,
     warmup: int = 150,
     measure: int = 400,
     seed: int = 1,
     engines=("reference", "flat"),
+    construction: bool = True,
 ) -> dict:
     """Run every cell and assemble the ``BENCH_flitsim.json`` document."""
     cells = CANONICAL_CELLS if cells is None else cells
@@ -129,6 +239,8 @@ def run_benchmarks(
         doc["cells"][name] = bench_cell(
             cell, warmup=warmup, measure=measure, seed=seed, engines=engines
         )
+    if construction:
+        doc["construction"] = run_construction_benchmarks()
     return doc
 
 

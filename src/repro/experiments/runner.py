@@ -8,18 +8,24 @@ already-simulated cells, (2) fanning the missing cells out over
 
 Determinism contract: a cell's result depends only on the cell record
 (spec strings + windows + derived seed), never on which worker ran it,
-in what order, or whether it came from the cache — so serial, parallel,
-and cached runs of the same spec are bit-identical.
+in what order, in which chunk, or whether it came from the cache — so
+serial, parallel, and cached runs of the same spec are bit-identical.
 
-Workers rebuild topologies/policies/traffic from registry spec strings
-(cheap to ship, no pickled simulator state) and memoize the expensive
-topology + routing-table construction per process, so a sweep of many
-loads over one topology pays table construction once per worker.
+Scheduling is **topology-affine**: missing cells are grouped by topology
+spec and submitted as chunks (not single cells), so a worker builds each
+fabric and routing table at most once per chunk and the per-process memo
+absorbs the rest.  The :class:`ProcessPoolExecutor` persists across
+``run()`` calls — a script that fires many sweeps pays process spin-up
+and per-worker construction once.  Workers rebuild
+topologies/policies/traffic from registry spec strings (cheap to ship,
+no pickled simulator state); the default worker count is
+``os.cpu_count()``, overridable with ``$REPRO_SWEEP_WORKERS``.
 """
 
 from __future__ import annotations
 
 import os
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -40,14 +46,35 @@ __all__ = [
     "ExperimentResult",
     "simulate_point",
     "run_cell",
+    "run_chunk",
     "auto_sim_config",
+    "default_worker_count",
 ]
 
 #: environment override for the default worker count
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
+
+def default_worker_count() -> int:
+    """Worker processes to use when the caller doesn't say.
+
+    ``$REPRO_SWEEP_WORKERS`` wins when set; otherwise every core —
+    sweeps are embarrassingly parallel and the determinism contract
+    makes the count result-invisible.
+    """
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        return int(env)
+    return os.cpu_count() or 1
+
 #: per-process memo: canonical topology spec -> (topology, routing tables)
 _TOPO_MEMO: dict = {}
+
+#: memo entries kept per process — the pool now persists across run()
+#: calls, so without a bound a worker would accumulate every topology it
+#: ever simulated (N x N tables, path caches, fabrics).  Topology-affine
+#: chunks make eviction churn rare.
+_TOPO_MEMO_CAP = 8
 
 
 def auto_sim_config(
@@ -104,6 +131,8 @@ def _build_cell_objects(cell: dict):
     topo_spec = cell["topology"]
     memo = _TOPO_MEMO.get(topo_spec)
     if memo is None:
+        while len(_TOPO_MEMO) >= _TOPO_MEMO_CAP:
+            _TOPO_MEMO.pop(next(iter(_TOPO_MEMO)))
         topo = TOPOLOGIES.create(topo_spec)
         memo = _TOPO_MEMO[topo_spec] = (topo, RoutingTables(topo))
         # Pre-warm the flat engine's dense port geometry: it is memoized
@@ -159,6 +188,16 @@ def run_cell(cell: dict) -> dict:
     }
 
 
+def run_chunk(cells: list) -> list:
+    """Execute a topology-affine chunk of cell records, in order.
+
+    The pool's unit of work: every cell in a chunk shares one topology
+    spec, so a worker pays fabric/table construction once (via the
+    per-process memo) and then just simulates.
+    """
+    return [run_cell(cell) for cell in cells]
+
+
 def _point_from_stats(stats: dict) -> SweepPoint:
     return SweepPoint(
         offered_load=stats["offered_load"],
@@ -205,20 +244,87 @@ class SweepRunner:
         A :class:`ResultCache`, or ``None`` to always simulate.
     max_workers:
         Worker processes for cache-missing cells.  ``None`` reads
-        ``$REPRO_SWEEP_WORKERS`` (default 1 = run inline, no pool).
+        ``$REPRO_SWEEP_WORKERS``, defaulting to ``os.cpu_count()``; the
+        pool persists across :meth:`run` calls (use :meth:`close` or a
+        ``with`` block to reap it eagerly — garbage collection does too).
+
+    Notes
+    -----
+    Because the pool persists, workers snapshot the environment when
+    first spawned: flipping env knobs (``$REPRO_SIM_ENGINE``,
+    ``$REPRO_PATH_CACHE``) between :meth:`run` calls requires
+    :meth:`close` first so the next pool re-reads them.  On platforms
+    whose default start method is *spawn* (macOS, Windows), scripts
+    using a multi-worker runner need the standard
+    ``if __name__ == "__main__":`` guard; set
+    ``REPRO_SWEEP_WORKERS=1`` to force inline execution instead.
     """
 
     def __init__(self, cache: "ResultCache | None" = None, max_workers: "int | None" = None):
         if max_workers is None:
-            max_workers = int(os.environ.get(WORKERS_ENV, "1"))
+            max_workers = default_worker_count()
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.cache = cache
         self.max_workers = max_workers
+        self._pool: "ProcessPoolExecutor | None" = None
+        self._pool_workers = 0
 
     @classmethod
     def with_default_cache(cls, max_workers: "int | None" = None) -> "SweepRunner":
         return cls(cache=ResultCache.default(), max_workers=max_workers)
+
+    # ------------------------------------------------------------------
+    # Worker-pool lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent pool, created on first use at full width.
+
+        Always sized to ``max_workers`` — sizing to the current run's
+        chunk count would tear the pool down whenever a later run has
+        more chunks, discarding the per-worker construction memo the
+        persistent pool exists to keep warm.  Excess workers just idle.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._pool_workers = self.max_workers
+            # Reap worker processes when the runner is collected without
+            # an explicit close() (shutdown is idempotent).
+            weakref.finalize(self, self._pool.shutdown, wait=False)
+        return self._pool
+
+    def _chunks(self, missing: list) -> list:
+        """Topology-affine chunks of ``missing``, deterministically.
+
+        Cells are grouped by topology spec (first-seen order) and each
+        group is split into pieces of at most ``ceil(missing/workers)``
+        cells: a chunk never mixes topologies (one fabric/table build
+        per chunk), yet a single big topology still fans out across the
+        whole pool.  Chunking affects only placement — per-cell results
+        are chunk-invariant by the determinism contract.
+        """
+        groups: dict = {}
+        for cell in missing:
+            groups.setdefault(cell["topology"], []).append(cell)
+        size = max(1, -(-len(missing) // self.max_workers))
+        chunks = []
+        for group in groups.values():
+            for i in range(0, len(group), size):
+                chunks.append(group[i : i + size])
+        return chunks
 
     # ------------------------------------------------------------------
     # Spec execution
@@ -239,15 +345,27 @@ class SweepRunner:
 
         if missing:
             result.cache_misses = len(missing)
-            if self.max_workers > 1 and len(missing) > 1:
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    stats_list = list(pool.map(run_cell, missing))
+            chunks = self._chunks(missing)
+            if self.max_workers > 1 and len(chunks) > 1:
+                pool = self._ensure_pool()
+                try:
+                    stats_chunks = list(pool.map(run_chunk, chunks))
+                except Exception:
+                    # Don't hand a possibly-broken pool (e.g. an
+                    # OOM-killed worker) to the next run() — drop the
+                    # not-yet-started chunks and recreate next time
+                    # rather than blocking on the doomed sweep.
+                    pool.shutdown(cancel_futures=True)
+                    self._pool = None
+                    self._pool_workers = 0
+                    raise
             else:
-                stats_list = [run_cell(cell) for cell in missing]
-            for cell, stats in zip(missing, stats_list):
-                result.cells[cell["key"]] = stats
-                if self.cache is not None:
-                    self.cache.put(cell["key"], {"cell": cell, "result": stats})
+                stats_chunks = [run_chunk(chunk) for chunk in chunks]
+            for chunk, stats_list in zip(chunks, stats_chunks):
+                for cell, stats in zip(chunk, stats_list):
+                    result.cells[cell["key"]] = stats
+                    if self.cache is not None:
+                        self.cache.put(cell["key"], {"cell": cell, "result": stats})
 
         # cells() is combo-major then load-major, so the precomputed list
         # partitions into one len(loads) slice per combo — no re-hashing.
@@ -275,6 +393,7 @@ class SweepRunner:
         measure: int = 1200,
         drain: int = 300,
         seed=0,
+        engine: "str | None" = None,
     ) -> LoadSweep:
         """Sweep ``loads`` over already-constructed objects, inline.
 
@@ -282,13 +401,15 @@ class SweepRunner:
         a registry spec (degraded fabrics, incremental expansions).  No
         caching or multiprocessing — live objects have no content hash
         and may not pickle — but the per-point execution path is the
-        same :func:`simulate_point` the spec path uses.
+        same :func:`simulate_point` the spec path uses.  ``engine`` pins
+        a simulator engine without touching ``$REPRO_SIM_ENGINE``.
         """
         points = [
             SweepPoint.from_result(
                 simulate_point(
                     topo, policy, traffic, load, config=config,
                     warmup=warmup, measure=measure, drain=drain, seed=seed,
+                    engine=engine,
                 )
             )
             for load in loads

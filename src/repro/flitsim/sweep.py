@@ -7,6 +7,7 @@ the paper plots: average latency vs offered load, plus accepted throughput
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -61,7 +62,7 @@ class LoadSweep:
     def throughputs(self) -> np.ndarray:
         return np.array([p.accepted_load for p in self.points])
 
-    def saturation_load(self, efficiency: float = 0.95) -> float:
+    def saturation_load(self, efficiency=None) -> float:
         """The curve's saturation throughput (see :func:`saturation_load`)."""
         return saturation_load(self.points, efficiency)
 
@@ -78,16 +79,25 @@ class LoadSweep:
         ]
 
 
-def saturation_load(points, efficiency: float = 0.95) -> float:
+def saturation_load(points, efficiency=None) -> float:
     """The plateau (maximum) of accepted load over the sweep.
 
     This is the paper's saturation-throughput metric: below saturation
     accepted tracks offered, past it accepted flattens at the plateau,
     so the maximum accepted load IS the saturation throughput.
-    ``efficiency`` is retained for backward compatibility but does not
-    affect the result (historically it never did — the pre/post
-    saturation branches computed the same maximum).
+
+    .. deprecated::
+        ``efficiency`` never affected the result (the historical pre/post
+        saturation branches computed the same maximum); passing it warns
+        and the parameter will be removed.
     """
+    if efficiency is not None:
+        warnings.warn(
+            "saturation_load(efficiency=...) is deprecated: the parameter "
+            "has never affected the result and will be removed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     return max((p.accepted_load for p in points), default=0.0)
 
 
@@ -102,6 +112,7 @@ def run_load_sweep(
     measure: int = 1200,
     drain: int = 300,
     seed=0,
+    engine: str | None = None,
 ) -> LoadSweep:
     """Simulate every load in ``loads`` and return the resulting curve.
 
@@ -109,7 +120,9 @@ def run_load_sweep(
     (:class:`repro.experiments.runner.SweepRunner`), for callers holding
     already-built objects.  Spec-string callers should build an
     :class:`~repro.experiments.spec.ExperimentSpec` instead and gain
-    caching and process-parallel execution.
+    caching and process-parallel execution.  ``engine`` pins a simulator
+    engine (``"flat"``/``"reference"``) without mutating the
+    ``$REPRO_SIM_ENGINE`` environment.
     """
     # Imported lazily: experiments sits above flitsim in the layering.
     from repro.experiments.runner import SweepRunner
@@ -117,4 +130,5 @@ def run_load_sweep(
     return SweepRunner().run_objects(
         topo, policy, traffic, loads, label=label, config=config,
         warmup=warmup, measure=measure, drain=drain, seed=seed,
+        engine=engine,
     )

@@ -118,7 +118,7 @@ def _splice(first_mat, first_lens, second_mat, second_lens) -> tuple:
     k = first_lens.size
     lens = first_lens + second_lens - 1
     width = int(lens.max())
-    paths = np.zeros((k, width), dtype=np.int64)
+    paths = np.zeros((k, width), dtype=np.result_type(first_mat, second_mat))
     paths[:, : first_mat.shape[1]] = first_mat
     cols = np.arange(second_mat.shape[1])[None, :]
     pos = (first_lens - 1)[:, None] + cols
@@ -133,7 +133,7 @@ def _overlay(base_mat, base_lens, rows, alt_mat, alt_lens) -> tuple:
     if rows.size == 0:
         return base_mat, base_lens
     if alt_mat.shape[1] > base_mat.shape[1]:
-        wide = np.zeros((base_mat.shape[0], alt_mat.shape[1]), dtype=np.int64)
+        wide = np.zeros((base_mat.shape[0], alt_mat.shape[1]), dtype=base_mat.dtype)
         wide[:, : base_mat.shape[1]] = base_mat
         base_mat = wide
     base_mat[rows, : alt_mat.shape[1]] = alt_mat

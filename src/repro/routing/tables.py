@@ -2,19 +2,44 @@
 
 The paper notes table-based routing is the method of choice for ER graphs
 (Section IV-D); the same tables also serve every baseline topology.  The
-distance matrix is built by one vectorized BFS per source and stored as
-int16 (N x N), from which minimal next-hops are recovered on demand —
-storing full next-hop sets would be O(N^2 * k) for no benefit.
+distance matrix comes from one level-synchronous *batched* BFS over every
+source simultaneously (:meth:`repro.utils.graph.Graph.all_pairs_distances`)
+and is stored as int16 (N x N); the minimal-next-hop candidate CSR is
+built in a single vectorized pass over the directed edge set.  Both are
+pinned bit-identical to the seed per-source builds by golden tests, so
+large-radix networks (q=31, N=993, ~1M pairs) construct in milliseconds
+instead of minutes without changing a single routed path.
+
+Path buffers are int32 — router ids are tiny, and halving the candidate
+CSR plus the dense unique-path cache is what lets the cache stay enabled
+at production scale.  The cache itself is memory-capped
+(``$REPRO_PATH_CACHE_MB``, default 256) and can be disabled outright
+(``$REPRO_PATH_CACHE=0`` or ``path_cache=False``).
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 from repro.topologies.base import Topology
 from repro.utils.rng import make_rng
 
-__all__ = ["RoutingTables"]
+__all__ = [
+    "RoutingTables",
+    "per_source_candidate_csr",
+    "PATH_CACHE_ENV",
+    "PATH_CACHE_MB_ENV",
+]
+
+#: set to ``0`` to disable the dense unique-path cache entirely
+PATH_CACHE_ENV = "REPRO_PATH_CACHE"
+
+#: memory budget (MiB) the unique-path cache must fit under to be built
+PATH_CACHE_MB_ENV = "REPRO_PATH_CACHE_MB"
+
+_PATH_CACHE_DEFAULT_MB = 256.0
 
 
 class RoutingTables:
@@ -25,18 +50,20 @@ class RoutingTables:
     topo:
         Any :class:`~repro.topologies.base.Topology`; the router graph
         must be connected.
+    path_cache:
+        ``True``/``False`` forces the dense unique-path cache on or off;
+        ``None`` (default) defers to ``$REPRO_PATH_CACHE`` and the
+        ``$REPRO_PATH_CACHE_MB`` memory cap.
     """
 
-    def __init__(self, topo: Topology):
+    def __init__(self, topo: Topology, path_cache: "bool | None" = None):
         if not topo.is_connected():
             raise ValueError("routing tables require a connected topology")
         self.topo = topo
-        graph = topo.graph
-        n = graph.n
-        dist = np.empty((n, n), dtype=np.int16)
-        for s in range(n):
-            dist[s] = graph.bfs_distances(s)
-        self.dist = dist
+        # One batched all-sources BFS instead of n Python-level ones.
+        self.dist = topo.graph.all_pairs_distances(dtype=np.int16)
+        self._path_cache_opt = path_cache
+        self._path_cache_on: "bool | None" = None
         # Lazily-built CSR of minimal next-hop candidates per (src, dst)
         # pair, for the batched path extractor.
         self._min_hop_csr: "tuple | None" = None
@@ -86,28 +113,97 @@ class RoutingTables:
     def _candidate_csr(self) -> tuple:
         """CSR of minimal next hops per (src, dst) pair, built on demand.
 
+        One vectorized pass over the *directed* edge set: edge ``u -> v``
+        is a candidate for destination ``dst`` iff
+        ``dist[v, dst] == dist[u, dst] - 1``, tested for every edge and
+        destination at once (blocked to bound the boolean workspace).
         ``indptr`` has ``n*n + 1`` entries indexed by ``src*n + dst``;
         ``data`` lists the candidate neighbors in ascending id order (so
-        candidate 0 matches the deterministic scalar path).
+        candidate 0 matches the deterministic scalar path) — identical
+        rows to the seed per-source build
+        (:func:`per_source_candidate_csr`, pinned by golden tests).
         """
         if self._min_hop_csr is None:
             graph = self.topo.graph
             n = graph.n
             dist = self.dist
-            indptr = np.zeros(n * n + 1, dtype=np.int64)
-            chunks = []
-            for s in range(n):
-                nbrs = graph.neighbors(s)
-                on_path = dist[nbrs, :] == dist[s, :][None, :] - 1
-                dst_idx, nbr_idx = np.nonzero(on_path.T)
-                indptr[s * n + 1 : s * n + n + 1] = np.bincount(
-                    dst_idx, minlength=n
+            src = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(graph.indptr)
+            )
+            nbr = graph.indices
+            # The comparison only needs to distinguish equal-vs-not of
+            # values that differ by at most the diameter: int8 rows (when
+            # the diameter fits) halve the gather traffic of the
+            # bandwidth-bound edges x destinations pass.
+            cmp_dist = (
+                dist.astype(np.int8) if int(dist.max()) < 127 else dist
+            )
+            shifted = cmp_dist - cmp_dist.dtype.type(1)
+            flat_parts = []
+            # Edge blocks sized so each comparison block (~2M entries)
+            # stays cache-resident — same total work as one giant pass,
+            # much better locality.  flatnonzero on the raveled block is
+            # several times faster than 2-D nonzero; the flat index
+            # decomposes into (edge, dst) afterwards.
+            step = max(1, (1 << 21) // max(n, 1))
+            for lo in range(0, src.size, step):
+                on_path = (
+                    cmp_dist[nbr[lo : lo + step], :]
+                    == shifted[src[lo : lo + step], :]
                 )
-                chunks.append(nbrs[nbr_idx].astype(np.int64))
-            np.cumsum(indptr, out=indptr)
-            data = np.concatenate(chunks) if chunks else np.empty(0, np.int64)
+                flat_parts.append(np.flatnonzero(on_path) + lo * n)
+            flat = (
+                np.concatenate(flat_parts)
+                if flat_parts
+                else np.empty(0, np.int64)
+            )
+            e_idx = flat // n
+            dst_idx = flat - e_idx * n
+            pair = src[e_idx] * n + dst_idx
+            # Stable sort by pair keeps equal pairs in edge order, which
+            # is ascending neighbor id within a source (CSR neighbors are
+            # sorted) — the order the scalar tie-break contract requires.
+            # int32 keys when they fit: the stable integer radix sort
+            # then runs half the passes.
+            if n * n < np.iinfo(np.int32).max:
+                order = np.argsort(pair.astype(np.int32), kind="stable")
+            else:
+                order = np.argsort(pair, kind="stable")
+            data = nbr[e_idx[order]].astype(np.int32)
+            indptr = np.zeros(n * n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(pair, minlength=n * n), out=indptr[1:])
             self._min_hop_csr = (indptr, data)
         return self._min_hop_csr
+
+    def _path_cache_enabled(self) -> bool:
+        """Whether the dense unique-path cache may be built and served.
+
+        An explicit ``path_cache=`` argument wins; otherwise
+        ``$REPRO_PATH_CACHE=0`` disables it, and the estimated footprint
+        (int32 paths + int64 lens + unique flags over all n^2 pairs) must
+        fit under ``$REPRO_PATH_CACHE_MB`` MiB — q=31 (N=993) needs about
+        20 MB, comfortably inside the 256 MB default.
+
+        The decision is memoized: this sits on the per-cycle routing hot
+        path, and the ``dist.max()`` footprint estimate is O(n^2).
+        """
+        if self._path_cache_on is None:
+            self._path_cache_on = self._decide_path_cache()
+        return self._path_cache_on
+
+    def _decide_path_cache(self) -> bool:
+        if self._path_cache_opt is not None:
+            return bool(self._path_cache_opt)
+        if os.environ.get(PATH_CACHE_ENV, "1").strip().lower() in (
+            "0", "false", "off",
+        ):
+            return False
+        n = self.topo.num_routers
+        width = int(self.dist.max()) + 1
+        budget_mb = float(
+            os.environ.get(PATH_CACHE_MB_ENV, _PATH_CACHE_DEFAULT_MB)
+        )
+        return n * n * (4 * width + 9) <= budget_mb * 2**20
 
     def _unique_path_cache(self) -> tuple:
         """Dense ``(paths, lens, unique)`` cache over all pairs, lazily.
@@ -123,7 +219,7 @@ class RoutingTables:
             indptr, data = self._candidate_csr()
             width = int(self.dist.max()) + 1
             lens = self.dist.ravel().astype(np.int64) + 1
-            paths = np.zeros((n * n, width), dtype=np.int64)
+            paths = np.zeros((n * n, width), dtype=np.int32)
             srcs = np.repeat(np.arange(n, dtype=np.int64), n)
             dsts = np.tile(np.arange(n, dtype=np.int64), n)
             paths[:, 0] = srcs
@@ -143,7 +239,7 @@ class RoutingTables:
     def shortest_paths_batch(self, srcs, dsts, rng=None) -> tuple:
         """Vectorized ECMP shortest paths for a batch of (src, dst) pairs.
 
-        Returns ``(paths, lens)``: a ``[k, max_len]`` int matrix whose
+        Returns ``(paths, lens)``: a ``[k, max_len]`` int32 matrix whose
         row ``i`` holds the path in columns ``0..lens[i]-1`` (columns
         beyond a row's length are unspecified).  With ``rng`` the
         tie-break at every step is a uniform candidate draw (one
@@ -155,7 +251,7 @@ class RoutingTables:
         dsts = np.asarray(dsts, dtype=np.int64)
         k = srcs.size
         n = self.topo.num_routers
-        if k and n * n <= 4_000_000:
+        if k and self._path_cache_enabled():
             # Serve the batch from the unique-path cache when no row
             # needs a tie-break — draw-free, so RNG-stream identical.
             cache_paths, cache_lens, unique = self._unique_path_cache()
@@ -167,10 +263,10 @@ class RoutingTables:
                 return cache_paths[pairs][:, : int(lens.max())], lens
         lens = self.dist[srcs, dsts].astype(np.int64) + 1
         if k == 0:
-            return np.empty((0, 1), dtype=np.int64), lens
+            return np.empty((0, 1), dtype=np.int32), lens
         indptr, data = self._candidate_csr()
         max_len = int(lens.max())
-        paths = np.empty((k, max_len), dtype=np.int64)
+        paths = np.empty((k, max_len), dtype=np.int32)
         paths[:, 0] = srcs
         cur = srcs
         for col in range(1, max_len):
@@ -190,7 +286,7 @@ class RoutingTables:
                 if multi.size:
                     pick = np.zeros(pair.size, dtype=np.int64)
                     pick[multi] = rng.integers(count[multi])
-            nxt = data[start + pick]
+            nxt = data[start + pick].astype(np.int64)
             if whole and col + 1 < max_len:
                 cur = nxt
                 paths[:, col] = nxt
@@ -201,3 +297,25 @@ class RoutingTables:
                     cur = full
                 paths[act, col] = nxt
         return paths, lens
+
+
+def per_source_candidate_csr(graph, dist) -> tuple:
+    """The seed per-source candidate-CSR build, kept as the golden oracle.
+
+    The vectorized :meth:`RoutingTables._candidate_csr` is pinned to
+    produce identical rows, and the construction benchmark measures this
+    loop as the speedup baseline.  ``data`` is int64 as in the seed; the
+    golden comparison is value-wise.
+    """
+    n = graph.n
+    indptr = np.zeros(n * n + 1, dtype=np.int64)
+    chunks = []
+    for s in range(n):
+        nbrs = graph.neighbors(s)
+        on_path = dist[nbrs, :] == dist[s, :][None, :] - 1
+        dst_idx, nbr_idx = np.nonzero(on_path.T)
+        indptr[s * n + 1 : s * n + n + 1] = np.bincount(dst_idx, minlength=n)
+        chunks.append(nbrs[nbr_idx].astype(np.int64))
+    np.cumsum(indptr, out=indptr)
+    data = np.concatenate(chunks) if chunks else np.empty(0, np.int64)
+    return indptr, data

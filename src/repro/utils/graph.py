@@ -6,9 +6,9 @@ numpy frontier expansions — no per-vertex Python objects, no adjacency
 copies (guides: vectorize loops, prefer views over copies).
 
 Only what the reproduction needs is implemented: construction from edge
-lists, BFS distances, diameter / average shortest path length, connectivity,
-edge removal (for failure sweeps), and triangle enumeration (for the
-PolarFly structural theorems).
+lists, BFS distances (single-source and all-sources batched), diameter /
+average shortest path length, connectivity, edge removal (for failure
+sweeps), and triangle enumeration (for the PolarFly structural theorems).
 """
 
 from __future__ import annotations
@@ -17,7 +17,11 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "bfs_distances_reference"]
+
+#: cap on the (sources x vertices) distance-block size the chunked
+#: all-pairs consumers (diameter / ASPL) materialize at once (~32 MB int64)
+_BLOCK_ENTRIES = 4_000_000
 
 
 class Graph:
@@ -36,9 +40,19 @@ class Graph:
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]]):
         self.n = int(n)
-        edge_arr = np.asarray(
-            [(u, v) if u < v else (v, u) for (u, v) in edges], dtype=np.int64
-        )
+        if isinstance(edges, np.ndarray) and edges.dtype != object:
+            # Array fast path: orient every row u < v with one in-place
+            # row sort instead of a Python comprehension over the edges
+            # (the failure-sweep mutation helpers below construct graphs
+            # from kept-edge arrays on their hot path).
+            edge_arr = edges.astype(np.int64, copy=True)
+            if edge_arr.size and (edge_arr.ndim != 2 or edge_arr.shape[1] != 2):
+                raise ValueError("edge array must have shape (m, 2)")
+            edge_arr.sort(axis=-1)
+        else:
+            edge_arr = np.asarray(
+                [(u, v) if u < v else (v, u) for (u, v) in edges], dtype=np.int64
+            )
         if edge_arr.size == 0:
             edge_arr = edge_arr.reshape(0, 2)
         else:
@@ -109,40 +123,86 @@ class Graph:
     # ------------------------------------------------------------------
     # Shortest paths (unweighted)
     # ------------------------------------------------------------------
-    def bfs_distances(self, source: int) -> np.ndarray:
-        """Hop distances from ``source``; unreachable vertices get -1.
+    def all_pairs_distances(
+        self, sources=None, dtype=np.int64
+    ) -> np.ndarray:
+        """Hop distances from many sources at once; unreachable pairs get -1.
 
-        Frontier-expansion BFS: each level gathers all neighbor slices of
-        the current frontier in one vectorized pass.
+        Level-synchronous batched BFS: the frontier is a set of
+        ``(source row, vertex)`` pairs over *every* source simultaneously,
+        and one level is a handful of CSR gathers (``np.repeat`` over the
+        frontier's neighbor slices) — no per-source Python loop.  Row ``i``
+        equals ``bfs_distances(sources[i])`` exactly; ``sources=None``
+        yields the full ``n x n`` distance matrix.
+
+        ``dtype`` sizes the output (routing tables store int16); it must
+        be able to hold the graph's eccentricity.
         """
-        dist = np.full(self.n, -1, dtype=np.int64)
-        dist[source] = 0
-        frontier = np.array([source], dtype=np.int64)
+        if sources is None:
+            src = np.arange(self.n, dtype=np.int64)
+        else:
+            src = np.asarray(sources, dtype=np.int64).ravel()
+        k = src.size
+        dist = np.full((k, self.n), -1, dtype=dtype)
+        if k == 0:
+            return dist
+        rows = np.arange(k, dtype=np.int64)
+        dist[rows, src] = 0
+        f_row, f_v = rows, src.copy()
+        # Remaining unset entries: once every pair is settled (e.g. after
+        # level 2 on a diameter-2 graph) the loop exits without paying
+        # the final, fruitless frontier expansion.
+        unknown = k * (self.n - 1)
+        # Scratch stamp matrix for sort-free frontier deduplication: the
+        # level's pairs scatter their positions in, and only the entries
+        # that read their own position back survive (last write wins).
+        # Never reset: a (row, vertex) pair is stamped at most once, so
+        # stale stamps are never compared against.
+        stamp = np.empty((k, self.n), dtype=np.int64)
         level = 0
-        while frontier.size:
+        indptr, indices = self.indptr, self.indices
+        while f_v.size and unknown > 0:
             level += 1
-            # Gather all neighbors of the frontier in one shot.
-            starts = self.indptr[frontier]
-            stops = self.indptr[frontier + 1]
-            total = int((stops - starts).sum())
+            starts = indptr[f_v]
+            counts = indptr[f_v + 1] - starts
+            total = int(counts.sum())
             if total == 0:
                 break
-            out = np.empty(total, dtype=np.int64)
-            pos = 0
-            for s, t in zip(starts, stops):
-                out[pos : pos + (t - s)] = self.indices[s:t]
-                pos += t - s
-            cand = out[dist[out] < 0]
-            if cand.size == 0:
+            # Gather every frontier vertex's neighbor slice in one shot:
+            # global position minus the slice's exclusive prefix sum is
+            # the offset within its CSR slice.
+            cum = np.cumsum(counts)
+            gather = np.arange(total, dtype=np.int64) + np.repeat(
+                starts - cum + counts, counts
+            )
+            nbr = indices[gather]
+            row = np.repeat(f_row, counts)
+            fresh = dist[row, nbr] < 0
+            row, nbr = row[fresh], nbr[fresh]
+            if row.size == 0:
                 break
-            cand = np.unique(cand)
-            dist[cand] = level
-            frontier = cand
+            pos = np.arange(row.size, dtype=np.int64)
+            stamp[row, nbr] = pos
+            keep = stamp[row, nbr] == pos
+            row, nbr = row[keep], nbr[keep]
+            dist[row, nbr] = level
+            unknown -= row.size
+            f_row, f_v = row, nbr
         return dist
 
+    def bfs_distances(self, source: int) -> np.ndarray:
+        """Hop distances from ``source``; unreachable vertices get -1."""
+        return self.all_pairs_distances(np.array([source], dtype=np.int64))[0]
+
     def distances_from(self, sources: Sequence[int]) -> np.ndarray:
-        """Stacked BFS distances, one row per source."""
-        return np.stack([self.bfs_distances(int(s)) for s in sources])
+        """Batched BFS distances, one row per source."""
+        return self.all_pairs_distances(np.asarray(sources, dtype=np.int64))
+
+    def _source_blocks(self, sources: np.ndarray):
+        """Source chunks bounding each all-pairs block to _BLOCK_ENTRIES."""
+        step = max(1, _BLOCK_ENTRIES // max(self.n, 1))
+        for i in range(0, len(sources), step):
+            yield sources[i : i + step]
 
     def eccentricity(self, v: int) -> int:
         """Max distance from ``v``; -1 when the graph is disconnected."""
@@ -163,11 +223,11 @@ class Graph:
 
             sources = make_rng(rng).choice(self.n, size=sample, replace=False)
         worst = 0
-        for s in sources:
-            ecc = self.eccentricity(int(s))
-            if ecc < 0:
+        for block in self._source_blocks(sources):
+            dist = self.all_pairs_distances(block)
+            if bool((dist < 0).any()):
                 return -1
-            worst = max(worst, ecc)
+            worst = max(worst, int(dist.max()))
         return worst
 
     def average_shortest_path_length(
@@ -181,12 +241,12 @@ class Graph:
             sources = make_rng(rng).choice(self.n, size=sample, replace=False)
         total = 0
         count = 0
-        for s in sources:
-            dist = self.bfs_distances(int(s))
-            if np.any(dist < 0):
+        for block in self._source_blocks(sources):
+            dist = self.all_pairs_distances(block)
+            if bool((dist < 0).any()):
                 return float("inf")
             total += int(dist.sum())
-            count += self.n - 1
+            count += dist.shape[0] * (self.n - 1)
         return total / count if count else 0.0
 
     def is_connected(self) -> bool:
@@ -198,27 +258,42 @@ class Graph:
     # ------------------------------------------------------------------
     # Mutation-by-copy
     # ------------------------------------------------------------------
-    def remove_edges(self, doomed: Iterable[tuple[int, int]]) -> "Graph":
-        """Return a new graph with ``doomed`` edges removed."""
-        doomed_set = {(u, v) if u < v else (v, u) for (u, v) in doomed}
-        keep = [
-            (int(u), int(v))
-            for (u, v) in self._edge_array
-            if (int(u), int(v)) not in doomed_set
+    def remove_edges(self, doomed) -> "Graph":
+        """Return a new graph with ``doomed`` edges removed.
+
+        Accepts an ``(m, 2)`` array or any iterable of pairs; membership
+        is one vectorized key comparison (failure sweeps call this once
+        per checkpoint, so no Python loop over the edge set).
+        """
+        if isinstance(doomed, np.ndarray):
+            doomed_arr = doomed.astype(np.int64, copy=True)
+        else:
+            doomed_arr = np.asarray(list(doomed), dtype=np.int64)
+        doomed_arr = doomed_arr.reshape(-1, 2)
+        if doomed_arr.size == 0:
+            return Graph(self.n, self._edge_array)
+        doomed_arr.sort(axis=1)
+        # Out-of-range pairs can't be edges — drop them before keying so
+        # they can't alias a real edge's u*n+v key (non-edges have
+        # always been a silent no-op here).
+        doomed_arr = doomed_arr[
+            (doomed_arr[:, 0] >= 0) & (doomed_arr[:, 1] < self.n)
         ]
-        return Graph(self.n, keep)
+        e = self._edge_array
+        keep = ~np.isin(
+            e[:, 0] * self.n + e[:, 1],
+            doomed_arr[:, 0] * self.n + doomed_arr[:, 1],
+        )
+        return Graph(self.n, e[keep])
 
     def subgraph_mask(self, mask: np.ndarray) -> "Graph":
         """Induced subgraph on vertices where ``mask`` is True (relabelled)."""
         mask = np.asarray(mask, dtype=bool)
         new_id = np.full(self.n, -1, dtype=np.int64)
-        new_id[mask] = np.arange(int(mask.sum()))
-        kept = [
-            (int(new_id[u]), int(new_id[v]))
-            for (u, v) in self._edge_array
-            if mask[u] and mask[v]
-        ]
-        return Graph(int(mask.sum()), kept)
+        new_id[mask] = np.arange(int(mask.sum()), dtype=np.int64)
+        e = self._edge_array
+        kept = e[mask[e[:, 0]] & mask[e[:, 1]]]
+        return Graph(int(mask.sum()), new_id[kept])
 
     # ------------------------------------------------------------------
     # Structure
@@ -256,3 +331,35 @@ class Graph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Graph(n={self.n}, m={self.num_edges})"
+
+
+def bfs_distances_reference(graph: Graph, source: int) -> np.ndarray:
+    """The seed per-source frontier BFS, kept as the golden oracle.
+
+    Batched :meth:`Graph.all_pairs_distances` is pinned bit-identical to
+    this implementation by the golden tests, and the construction
+    benchmark measures its per-source cost as the speedup baseline.
+    """
+    dist = np.full(graph.n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        starts = graph.indptr[frontier]
+        stops = graph.indptr[frontier + 1]
+        total = int((stops - starts).sum())
+        if total == 0:
+            break
+        out = np.empty(total, dtype=np.int64)
+        pos = 0
+        for s, t in zip(starts, stops):
+            out[pos : pos + (t - s)] = graph.indices[s:t]
+            pos += t - s
+        cand = out[dist[out] < 0]
+        if cand.size == 0:
+            break
+        cand = np.unique(cand)
+        dist[cand] = level
+        frontier = cand
+    return dist

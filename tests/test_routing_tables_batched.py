@@ -1,0 +1,93 @@
+"""Golden tests for the vectorized RoutingTables construction.
+
+The batched all-pairs distance matrix and the one-shot candidate CSR
+must be bit-identical to the seed per-source builds on every registry
+topology — large-radix scaling must not change a single routed path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import TOPOLOGIES
+from repro.routing.tables import (
+    PATH_CACHE_ENV,
+    PATH_CACHE_MB_ENV,
+    RoutingTables,
+    per_source_candidate_csr,
+)
+from repro.utils.graph import bfs_distances_reference
+
+
+@pytest.fixture(scope="module", params=sorted(TOPOLOGIES.names()))
+def topo(request):
+    return TOPOLOGIES.create(TOPOLOGIES.example(request.param))
+
+
+class TestGoldenConstruction:
+    def test_distance_matrix_matches_per_source(self, topo):
+        tables = RoutingTables(topo)
+        expected = np.stack(
+            [bfs_distances_reference(topo.graph, s) for s in range(topo.graph.n)]
+        ).astype(np.int16)
+        assert tables.dist.dtype == np.int16
+        assert np.array_equal(tables.dist, expected)
+
+    def test_candidate_csr_matches_per_source(self, topo):
+        tables = RoutingTables(topo)
+        indptr, data = tables._candidate_csr()
+        ref_indptr, ref_data = per_source_candidate_csr(topo.graph, tables.dist)
+        assert np.array_equal(indptr, ref_indptr)
+        assert np.array_equal(data, ref_data)
+        assert data.dtype == np.int32
+
+    def test_batch_paths_match_scalar(self, topo):
+        tables = RoutingTables(topo)
+        n = topo.num_routers
+        rng = np.random.default_rng(5)
+        srcs = rng.integers(0, n, size=40)
+        dsts = rng.integers(0, n, size=40)
+        paths, lens = tables.shortest_paths_batch(srcs, dsts)
+        assert paths.dtype == np.int32
+        for i in range(srcs.size):
+            scalar = tables.shortest_path(int(srcs[i]), int(dsts[i]))
+            assert list(paths[i, : lens[i]]) == scalar
+
+
+class TestPathCacheGating:
+    def _paths(self, tables, n):
+        rng = np.random.default_rng(9)
+        srcs = rng.integers(0, n, size=30)
+        dsts = rng.integers(0, n, size=30)
+        return srcs, dsts, tables.shortest_paths_batch(srcs, dsts)
+
+    def test_cache_off_matches_cache_on(self):
+        topo = TOPOLOGIES.create("polarfly:conc=2,q=5")
+        on = RoutingTables(topo, path_cache=True)
+        off = RoutingTables(topo, path_cache=False)
+        assert on._path_cache_enabled() and not off._path_cache_enabled()
+        srcs, dsts, (p1, l1) = self._paths(on, topo.num_routers)
+        _, _, (p2, l2) = self._paths(off, topo.num_routers)
+        assert np.array_equal(l1, l2)
+        for i in range(srcs.size):
+            assert np.array_equal(p1[i, : l1[i]], p2[i, : l2[i]])
+        # the disabled table never built the dense cache
+        assert off._unique_paths is None
+
+    def test_env_disable(self, monkeypatch):
+        topo = TOPOLOGIES.create("petersen:p=2")
+        monkeypatch.setenv(PATH_CACHE_ENV, "0")
+        assert not RoutingTables(topo)._path_cache_enabled()
+        monkeypatch.setenv(PATH_CACHE_ENV, "1")
+        assert RoutingTables(topo)._path_cache_enabled()
+
+    def test_memory_cap(self, monkeypatch):
+        topo = TOPOLOGIES.create("petersen:p=2")
+        monkeypatch.setenv(PATH_CACHE_MB_ENV, "0.0001")
+        assert not RoutingTables(topo)._path_cache_enabled()
+        monkeypatch.delenv(PATH_CACHE_MB_ENV)
+        assert RoutingTables(topo)._path_cache_enabled()
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        topo = TOPOLOGIES.create("petersen:p=2")
+        monkeypatch.setenv(PATH_CACHE_ENV, "0")
+        assert RoutingTables(topo, path_cache=True)._path_cache_enabled()

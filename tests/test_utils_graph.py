@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.graph import Graph
+from repro.utils.graph import Graph, bfs_distances_reference
 
 
 def path_graph(n):
@@ -97,6 +97,61 @@ class TestDistances:
         assert sampled <= full
 
 
+class TestBatchedBFS:
+    """all_pairs_distances is pinned bit-identical to the seed BFS."""
+
+    def _assert_golden(self, g):
+        expected = np.stack(
+            [bfs_distances_reference(g, s) for s in range(g.n)]
+        ) if g.n else np.empty((0, 0), dtype=np.int64)
+        got = g.all_pairs_distances()
+        assert got.dtype == np.int64
+        assert np.array_equal(got, expected)
+
+    def test_golden_on_basic_graphs(self):
+        for g in (path_graph(7), cycle_graph(9), complete_graph(5), Graph(4, [])):
+            self._assert_golden(g)
+
+    def test_golden_on_disconnected_graph(self):
+        self._assert_golden(Graph(7, [(0, 1), (1, 2), (4, 5)]))
+
+    def test_golden_on_registry_topologies(self):
+        from repro.experiments.registry import TOPOLOGIES
+
+        for name in TOPOLOGIES.names():
+            topo = TOPOLOGIES.create(TOPOLOGIES.example(name))
+            self._assert_golden(topo.graph)
+
+    def test_golden_on_random_graphs(self):
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            n = int(rng.integers(2, 50))
+            pairs = rng.integers(0, n, size=(2 * n, 2))
+            g = Graph(n, pairs[pairs[:, 0] != pairs[:, 1]])
+            self._assert_golden(g)
+
+    def test_source_subset_matches_rows(self):
+        g = cycle_graph(12)
+        sources = [3, 0, 7]
+        sub = g.all_pairs_distances(sources)
+        assert np.array_equal(sub, g.all_pairs_distances()[sources])
+        assert np.array_equal(sub, g.distances_from(sources))
+
+    def test_dtype_and_empty_sources(self):
+        g = path_graph(5)
+        d16 = g.all_pairs_distances(dtype=np.int16)
+        assert d16.dtype == np.int16
+        assert np.array_equal(d16, g.all_pairs_distances())
+        assert g.all_pairs_distances(np.empty(0, np.int64)).shape == (0, 5)
+
+    def test_bfs_distances_delegates(self):
+        g = Graph(7, [(0, 1), (1, 2), (4, 5)])
+        for s in range(7):
+            assert np.array_equal(
+                g.bfs_distances(s), bfs_distances_reference(g, s)
+            )
+
+
 class TestMutation:
     def test_remove_edges(self):
         g = cycle_graph(5)
@@ -110,11 +165,49 @@ class TestMutation:
         g = cycle_graph(5)
         assert not g.remove_edges([(1, 0)]).has_edge(0, 1)
 
+    def test_remove_edges_array_matches_iterable(self):
+        g = complete_graph(6)
+        doomed = np.array([[0, 1], [4, 2], [3, 5]])
+        ga = g.remove_edges(doomed)
+        gb = g.remove_edges([(0, 1), (2, 4), (5, 3)])
+        assert np.array_equal(ga.edges(), gb.edges())
+        assert ga.num_edges == g.num_edges - 3
+
+    def test_remove_no_edges(self):
+        g = cycle_graph(5)
+        assert np.array_equal(g.remove_edges([]).edges(), g.edges())
+
+    def test_remove_nonexistent_or_out_of_range_is_noop(self):
+        g = Graph(5, [(2, 3), (0, 1)])
+        # (1, 8) is out of range and must not alias edge (2, 3)'s key
+        assert np.array_equal(g.remove_edges([(1, 8)]).edges(), g.edges())
+        assert np.array_equal(g.remove_edges([(0, 4)]).edges(), g.edges())
+
     def test_subgraph_mask(self):
         g = complete_graph(5)
         sub = g.subgraph_mask(np.array([True, True, True, False, False]))
         assert sub.n == 3
         assert sub.num_edges == 3
+
+    def test_subgraph_mask_relabels(self):
+        g = path_graph(6)
+        sub = g.subgraph_mask(np.array([False, True, True, False, True, True]))
+        # vertices 1-2 and 4-5 survive as 0-1 and 2-3
+        assert sub.n == 4
+        assert sub.has_edge(0, 1) and sub.has_edge(2, 3)
+        assert not sub.has_edge(1, 2)
+
+    def test_ndarray_constructor_matches_iterable(self):
+        edges = [(4, 0), (1, 3), (2, 1), (1, 3)]
+        g1 = Graph(5, edges)
+        g2 = Graph(5, np.array(edges))
+        assert np.array_equal(g1.edges(), g2.edges())
+        with pytest.raises(ValueError):
+            Graph(5, np.array([[0, 0]]))
+        with pytest.raises(ValueError):
+            Graph(5, np.array([[0, 9]]))
+        with pytest.raises(ValueError):
+            Graph(5, np.array([[0, 1, 2]]))
 
 
 class TestStructure:

@@ -1,16 +1,26 @@
 #!/usr/bin/env python
-"""CLI for the engine perf harness — writes BENCH_flitsim.json.
+"""CLI for the perf harness — writes BENCH_flitsim.json.
 
     PYTHONPATH=src python tools/bench.py [--out PATH] [--measure N]
         [--warmup N] [--cells name,name] [--check RATIO]
+        [--no-construction] [--check-construction SLACK]
 
 ``--check RATIO`` exits nonzero when any benchmarked cell's
 flat-over-reference speedup falls below RATIO — the CI perf job runs
 with ``--check 1.0`` so a regression that makes the flat engine slower
 than the reference fails the build.
+
+``--check-construction SLACK`` guards the construction trajectory: the
+previously committed ``--out`` file is read *before* it is overwritten,
+and the run fails when the batched q=19 ``RoutingTables`` build loses
+its speedup over the seed per-source path, or when that speedup falls
+below the committed baseline's by more than SLACK x.  Both signals are
+same-machine ratios, so the gate is robust to CI runners being slower
+or faster than the machine that committed the baseline.
 """
 
 import argparse
+import json
 import os
 import sys
 
@@ -20,9 +30,19 @@ sys.path.insert(
 
 from repro.experiments.perfbench import (  # noqa: E402
     CANONICAL_CELLS,
+    CONSTRUCTION_GATE,
     run_benchmarks,
     write_bench_json,
 )
+
+
+def _load_committed_construction(path: str) -> dict:
+    """The ``construction`` section of the committed baseline, or {}."""
+    try:
+        with open(path) as fh:
+            return json.load(fh).get("construction", {})
+    except (OSError, ValueError):
+        return {}
 
 
 def main(argv=None) -> int:
@@ -43,7 +63,28 @@ def main(argv=None) -> int:
         metavar="RATIO",
         help="fail (exit 1) if any cell's flat/reference speedup < RATIO",
     )
+    parser.add_argument(
+        "--no-construction",
+        action="store_true",
+        help="skip the construction benchmark section",
+    )
+    parser.add_argument(
+        "--check-construction",
+        type=float,
+        default=None,
+        metavar="SLACK",
+        help=(
+            "fail (exit 1) if the q=19 RoutingTables batched-over-per-source "
+            "speedup drops below 1.0, or below the committed baseline's "
+            "speedup by more than SLACK x"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.check_construction is not None and args.no_construction:
+        parser.error(
+            "--check-construction requires the construction benchmark; "
+            "drop --no-construction"
+        )
 
     cells = CANONICAL_CELLS
     if args.cells:
@@ -55,8 +96,13 @@ def main(argv=None) -> int:
             )
         cells = {name: CANONICAL_CELLS[name] for name in names}
 
+    committed = _load_committed_construction(args.out)
     doc = run_benchmarks(
-        cells=cells, warmup=args.warmup, measure=args.measure, seed=args.seed
+        cells=cells,
+        warmup=args.warmup,
+        measure=args.measure,
+        seed=args.seed,
+        construction=not args.no_construction,
     )
     path = write_bench_json(doc, args.out)
 
@@ -70,14 +116,51 @@ def main(argv=None) -> int:
             f"speedup {speedup:.2f}x"
         )
         if args.check is not None and speedup < args.check:
-            failed.append((name, speedup))
+            failed.append(
+                f"{name} speedup {speedup:.2f}x < required {args.check:.2f}x"
+            )
+
+    for name, entry in doc.get("construction", {}).items():
+        rt = entry["routing_tables"]
+        line = (
+            f"{name:28s} N={entry['num_routers']:<5d} topo "
+            f"{entry['topology_s'] * 1e3:7.1f} ms   tables "
+            f"{rt['batched_s'] * 1e3:7.1f} ms   csr "
+            f"{entry['candidate_csr']['batched_s'] * 1e3:7.1f} ms"
+        )
+        if "speedup_batched_over_per_source" in rt:
+            line += f"   tables speedup {rt['speedup_batched_over_per_source']:.1f}x"
+        print(line)
+
+    if args.check_construction is not None and not args.no_construction:
+        gate = doc["construction"][CONSTRUCTION_GATE]["routing_tables"]
+        speedup = gate.get("speedup_batched_over_per_source")
+        if speedup is not None and speedup < 1.0:
+            failed.append(
+                f"construction {CONSTRUCTION_GATE}: batched RoutingTables "
+                f"build only {speedup:.2f}x the per-source path"
+            )
+        old = committed.get(CONSTRUCTION_GATE, {}).get("routing_tables", {})
+        old_speedup = old.get("speedup_batched_over_per_source")
+        if old_speedup is None or speedup is None:
+            print(
+                f"note: no committed construction baseline for "
+                f"{CONSTRUCTION_GATE}; baseline comparison skipped "
+                f"(absolute speedup check still applies)"
+            )
+        elif speedup * args.check_construction < old_speedup:
+            # Both speedups are same-machine ratios, so this comparison
+            # survives CI runners slower/faster than the baseline box.
+            failed.append(
+                f"construction {CONSTRUCTION_GATE}: RoutingTables speedup "
+                f"{speedup:.1f}x < committed {old_speedup:.1f}x / "
+                f"{args.check_construction:.1f} slack"
+            )
+
     print(f"wrote {path}")
     if failed:
-        for name, speedup in failed:
-            print(
-                f"FAIL: {name} speedup {speedup:.2f}x < required {args.check:.2f}x",
-                file=sys.stderr,
-            )
+        for msg in failed:
+            print(f"FAIL: {msg}", file=sys.stderr)
         return 1
     return 0
 
