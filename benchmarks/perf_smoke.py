@@ -6,9 +6,10 @@ Not a pytest module (no ``test_`` prefix) — run it directly:
 
 Times the struct-of-arrays flat engine against the reference engine on
 the canonical cells (Figure-9 PolarFly q=7 UGAL_PF, Dragonfly minimal
-adversarial), plus the construction path (topology, routing tables,
-candidate CSR, flat fabric) at q ∈ {7, 19, 31}, and writes
-``BENCH_flitsim.json``.  ``tools/bench.py`` is the CLI wrapper with
+adversarial), the closed-loop workload cells (ring all-reduce and
+all-to-all on PolarFly q=7, completion time per engine), plus the
+construction path (topology, routing tables, candidate CSR, flat
+fabric) at q ∈ {7, 19, 31}, and writes ``BENCH_flitsim.json``.  ``tools/bench.py`` is the CLI wrapper with
 knobs and the CI ``--check`` / ``--check-construction`` gates.
 """
 
@@ -24,6 +25,12 @@ def main() -> dict:
         print(
             f"{name:28s} reference {ref:9.0f} c/s   flat {flat:9.0f} c/s   "
             f"speedup {cell['speedup_flat_over_reference']:.2f}x"
+        )
+    for name, entry in doc.get("workloads", {}).items():
+        speedup = entry.get("speedup_flat_over_reference")
+        print(
+            f"{name:28s} completion {entry['completion_cycles']:6d} cyc"
+            + (f"   speedup {speedup:.2f}x" if speedup else "")
         )
     for name, entry in doc.get("construction", {}).items():
         rt = entry["routing_tables"]

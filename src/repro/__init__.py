@@ -16,6 +16,10 @@ Subpackages
 ``repro.flitsim``
     Cycle-accurate flit-level simulator with traffic patterns and load
     sweeps (the BookSim substitute).
+``repro.workloads``
+    Closed-loop workload engine: message DAGs, collective generators
+    (all-reduce, all-to-all, halo, incast), trace replay, and
+    completion-time metrics.
 ``repro.analysis``
     Bisection, resilience, path diversity, cost model, feasibility.
 
@@ -86,7 +90,9 @@ from repro.experiments import (
     TOPOLOGIES,
     POLICIES,
     TRAFFICS,
+    WORKLOADS,
 )
+from repro.workloads import Message, Workload, WorkloadResult
 
 __version__ = "1.1.0"
 
@@ -141,5 +147,9 @@ __all__ = [
     "TOPOLOGIES",
     "POLICIES",
     "TRAFFICS",
+    "WORKLOADS",
+    "Message",
+    "Workload",
+    "WorkloadResult",
     "__version__",
 ]

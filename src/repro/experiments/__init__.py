@@ -35,13 +35,20 @@ time); the engine modules — which import the simulator stack — load
 lazily via PEP 562 so no import cycle can form.
 """
 
-from repro.experiments.registry import POLICIES, Registry, TOPOLOGIES, TRAFFICS
+from repro.experiments.registry import (
+    POLICIES,
+    Registry,
+    TOPOLOGIES,
+    TRAFFICS,
+    WORKLOADS,
+)
 
 __all__ = [
     "Registry",
     "TOPOLOGIES",
     "POLICIES",
     "TRAFFICS",
+    "WORKLOADS",
     "Combo",
     "ExperimentSpec",
     "cell_hash",
@@ -49,6 +56,7 @@ __all__ = [
     "SweepRunner",
     "ExperimentResult",
     "simulate_point",
+    "simulate_workload",
     "run_cell",
     "auto_sim_config",
 ]
@@ -61,6 +69,7 @@ _LAZY = {
     "SweepRunner": "repro.experiments.runner",
     "ExperimentResult": "repro.experiments.runner",
     "simulate_point": "repro.experiments.runner",
+    "simulate_workload": "repro.experiments.runner",
     "run_cell": "repro.experiments.runner",
     "auto_sim_config": "repro.experiments.runner",
 }

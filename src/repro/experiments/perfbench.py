@@ -31,9 +31,12 @@ __all__ = [
     "HEADLINE_CELL",
     "CONSTRUCTION_SPECS",
     "CONSTRUCTION_GATE",
+    "WORKLOAD_CELLS",
     "bench_cell",
+    "bench_workload_cell",
     "bench_construction_spec",
     "run_construction_benchmarks",
+    "run_workload_benchmarks",
     "run_benchmarks",
     "machine_info",
     "write_bench_json",
@@ -70,6 +73,20 @@ CONSTRUCTION_SPECS = {
 
 #: the construction entry the CI regression gate checks
 CONSTRUCTION_GATE = "pf_q19"
+
+#: The canonical closed-loop cells: collective completion time is the
+#: workload engine's headline number (the paper-adjacent metric real
+#: systems are judged on), recorded per engine with the same
+#: flat-over-reference speedup bookkeeping as the open-loop cells.
+WORKLOAD_CELLS = {
+    "allreduce_ring_pf_q7": dict(
+        topology="polarfly:conc=2,q=7", policy="ugal-pf",
+        workload="allreduce:algo=ring,size=64",
+    ),
+    "alltoall_pf_q7": dict(
+        topology="polarfly:conc=2,q=7", policy="min", workload="alltoall:size=8",
+    ),
+}
 
 
 def machine_info() -> dict:
@@ -127,6 +144,79 @@ def bench_cell(
             eng["flat"]["cycles_per_sec"] / eng["reference"]["cycles_per_sec"]
         )
     return result
+
+
+def bench_workload_cell(
+    cell: dict,
+    max_cycles: int = 100_000,
+    seed: int = 1,
+    engines=("reference", "flat"),
+) -> dict:
+    """Time one closed-loop cell to completion per engine.
+
+    Both engines run the exact same collective (bit-identical results
+    per seed), so the recorded completion time is engine-agnostic and
+    the walls measure pure engine speed.
+    """
+    from repro.experiments.registry import WORKLOADS
+    from repro.experiments.runner import simulate_workload
+    from repro.routing.tables import RoutingTables
+
+    topo = TOPOLOGIES.create(cell["topology"])
+    tables = RoutingTables(topo)
+    policy = POLICIES.create(cell["policy"], tables)
+    workload = WORKLOADS.create(cell["workload"], topo)
+    config = auto_sim_config(policy)
+    result: dict = {"cell": dict(cell), "engines": {}}
+    for engine in engines:
+        start = time.perf_counter()
+        res = simulate_workload(
+            topo, policy, workload, config=config, max_cycles=max_cycles,
+            seed=seed, engine=engine,
+        )
+        wall = time.perf_counter() - start
+        result["engines"][engine] = {
+            "wall_s": wall,
+            "cycles_per_sec": res.cycles / wall if wall else float("inf"),
+        }
+        if "completion_cycles" in result and (
+            result["completion_cycles"] != res.completion_time
+            or result["num_messages"] != res.num_messages
+        ):
+            # The engines are pinned bit-identical; a divergence here
+            # means the baseline would be silently wrong — fail loudly.
+            raise RuntimeError(
+                f"engine divergence on {cell}: {engine} completed in "
+                f"{res.completion_time} cycles vs recorded "
+                f"{result['completion_cycles']}"
+            )
+        result["completion_cycles"] = res.completion_time
+        result["num_messages"] = res.num_messages
+        result["wire_flits"] = res.wire_flits
+        result["bisection_utilization"] = res.bisection_utilization
+        result["finished"] = res.finished
+    eng = result["engines"]
+    if "reference" in eng and "flat" in eng:
+        result["speedup_flat_over_reference"] = (
+            eng["flat"]["cycles_per_sec"] / eng["reference"]["cycles_per_sec"]
+        )
+    return result
+
+
+def run_workload_benchmarks(
+    cells: "dict | None" = None,
+    max_cycles: int = 100_000,
+    seed: int = 1,
+    engines=("reference", "flat"),
+) -> dict:
+    """The ``workloads`` section of ``BENCH_flitsim.json``."""
+    cells = WORKLOAD_CELLS if cells is None else cells
+    return {
+        name: bench_workload_cell(
+            cell, max_cycles=max_cycles, seed=seed, engines=engines
+        )
+        for name, cell in cells.items()
+    }
 
 
 def _timed(fn, *args, repeats: int = 1):
@@ -224,6 +314,7 @@ def run_benchmarks(
     seed: int = 1,
     engines=("reference", "flat"),
     construction: bool = True,
+    workloads: bool = True,
 ) -> dict:
     """Run every cell and assemble the ``BENCH_flitsim.json`` document."""
     cells = CANONICAL_CELLS if cells is None else cells
@@ -239,6 +330,8 @@ def run_benchmarks(
         doc["cells"][name] = bench_cell(
             cell, warmup=warmup, measure=measure, seed=seed, engines=engines
         )
+    if workloads:
+        doc["workloads"] = run_workload_benchmarks(seed=seed, engines=engines)
     if construction:
         doc["construction"] = run_construction_benchmarks()
     return doc

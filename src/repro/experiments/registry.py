@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import importlib
 
-__all__ = ["Registry", "TOPOLOGIES", "POLICIES", "TRAFFICS"]
+__all__ = ["Registry", "TOPOLOGIES", "POLICIES", "TRAFFICS", "WORKLOADS"]
 
 
 def _parse_value(text: str):
@@ -188,3 +188,6 @@ TRAFFICS = Registry(
     "traffic pattern",
     providers=("repro.flitsim.traffic", "repro.flitsim.patterns_extra"),
 )
+#: closed-loop workload generators; factories take ``(topo, **kwargs)``
+#: and return a :class:`repro.workloads.Workload`
+WORKLOADS = Registry("workload", providers=("repro.workloads.generators",))

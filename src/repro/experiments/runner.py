@@ -30,7 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.experiments.cache import ResultCache
-from repro.experiments.registry import POLICIES, TOPOLOGIES, TRAFFICS
+from repro.experiments.registry import POLICIES, TOPOLOGIES, TRAFFICS, WORKLOADS
 from repro.experiments.spec import ExperimentSpec
 from repro.flitsim.engine import (
     DEFAULT_ENGINE,
@@ -45,6 +45,7 @@ __all__ = [
     "SweepRunner",
     "ExperimentResult",
     "simulate_point",
+    "simulate_workload",
     "run_cell",
     "run_chunk",
     "auto_sim_config",
@@ -124,6 +125,31 @@ def simulate_point(
     return sim.run(warmup=warmup, measure=measure, drain=drain)
 
 
+def simulate_workload(
+    topo,
+    policy,
+    workload,
+    config: "SimConfig | None" = None,
+    max_cycles: int = 200_000,
+    seed=0,
+    engine: "str | None" = None,
+):
+    """Run one closed-loop workload cell on already-built objects.
+
+    The workload counterpart of :func:`simulate_point`: every
+    closed-loop simulation in the repo — benchmarks, examples, and
+    cache-missing workload sweep cells — ends here.  Returns a
+    :class:`~repro.workloads.WorkloadResult`.
+    """
+    if config is None:
+        config = auto_sim_config(policy)
+    sim = make_simulator(
+        topo, policy, None, 0.0, config=config, seed=seed, engine=engine,
+        workload=workload,
+    )
+    return sim.run_workload(max_cycles=max_cycles)
+
+
 def _build_cell_objects(cell: dict):
     """(topo, policy, traffic) for a cell record, memoizing per process."""
     from repro.routing.tables import RoutingTables
@@ -145,7 +171,7 @@ def _build_cell_objects(cell: dict):
             fabric_for(topo)
     topo, tables = memo
     policy = POLICIES.create(cell["policy"], tables)
-    traffic = TRAFFICS.create(cell["traffic"], topo)
+    traffic = TRAFFICS.create(cell["traffic"], topo) if cell["traffic"] else None
     return topo, policy, traffic
 
 
@@ -153,21 +179,53 @@ def run_cell(cell: dict) -> dict:
     """Execute one cell record and return its JSON-safe statistics.
 
     Module-level (picklable) so :class:`ProcessPoolExecutor` can run it
-    in workers; also called inline for serial sweeps.
+    in workers; also called inline for serial sweeps.  Closed-loop
+    cells (a ``workload`` field instead of a traffic spec) run to
+    completion and report workload metrics alongside the standard
+    sweep-point fields — avg/p50/p99 are then *packet* statistics of
+    the whole run and ``accepted_load`` the achieved throughput, so
+    workload curves assemble through the same
+    :class:`~repro.flitsim.sweep.LoadSweep` plumbing.
     """
     topo, policy, traffic = _build_cell_objects(cell)
+    config = auto_sim_config(
+        policy,
+        port_budget=cell["port_budget"],
+        num_vcs=cell["num_vcs"],
+        vc_depth=cell["vc_depth"],
+        packet_size=cell["packet_size"],
+    )
+    if cell.get("workload"):
+        workload = WORKLOADS.create(cell["workload"], topo)
+        res = simulate_workload(
+            topo,
+            policy,
+            workload,
+            config=config,
+            max_cycles=cell["max_cycles"],
+            seed=cell["seed"],
+        )
+        stats = {
+            "offered_load": cell["load"],
+            "accepted_load": res.achieved_throughput,
+            "avg_latency": res.avg_packet_latency,
+            "p50_latency": res.packet_latency_percentile(50),
+            "p99_latency": res.packet_latency_percentile(99),
+            "avg_hops": res.avg_hops,
+            "cycles": res.cycles,
+            "num_endpoints": res.num_endpoints,
+            "injected_flits": res.injected_flits,
+            "ejected_flits": res.ejected_flits,
+            "num_packets": int(len(res.packet_latencies)),
+        }
+        stats.update(res.summary())
+        return stats
     res = simulate_point(
         topo,
         policy,
         traffic,
         cell["load"],
-        config=auto_sim_config(
-            policy,
-            port_budget=cell["port_budget"],
-            num_vcs=cell["num_vcs"],
-            vc_depth=cell["vc_depth"],
-            packet_size=cell["packet_size"],
-        ),
+        config=config,
         warmup=cell["warmup"],
         measure=cell["measure"],
         drain=cell["drain"],

@@ -19,38 +19,51 @@ import hashlib
 import json
 from dataclasses import dataclass, replace
 
-from repro.experiments.registry import POLICIES, TOPOLOGIES, TRAFFICS
+from repro.experiments.registry import POLICIES, TOPOLOGIES, TRAFFICS, WORKLOADS
 from repro.utils.rng import derive_seed
 
 __all__ = ["Combo", "ExperimentSpec", "cell_hash", "CELL_VERSION"]
 
 #: bump to invalidate cached artifacts when cell semantics change
-#: (2: synchronous router phase + batched injection RNG protocol of the
-#: flat/reference engine pair)
-CELL_VERSION = 2
+#: (3: closed-loop workload cells — workload axis, run-to-completion
+#: windows — joining the v2 synchronous-router-phase protocol)
+CELL_VERSION = 3
 
 
 @dataclass(frozen=True)
 class Combo:
-    """One curve of a sweep: a (topology, policy, traffic) triple.
+    """One curve of a sweep: a (topology, policy, traffic) triple — or,
+    for closed-loop cells, a (topology, policy, workload) triple.
 
     Spec strings are canonicalized on construction so equal combos
     compare and hash equally however the caller spelled them.  ``label``
-    is presentation-only and excluded from cache keys.
+    is presentation-only and excluded from cache keys.  Exactly one of
+    ``traffic`` (open loop) and ``workload`` (closed loop) must be set.
     """
 
     topology: str
     policy: str
-    traffic: str
+    traffic: str = ""
     label: str = ""
+    workload: str = ""
 
     def __post_init__(self):
         object.__setattr__(self, "topology", TOPOLOGIES.canonical(self.topology))
         object.__setattr__(self, "policy", POLICIES.canonical(self.policy))
-        object.__setattr__(self, "traffic", TRAFFICS.canonical(self.traffic))
+        if bool(self.traffic) == bool(self.workload):
+            raise ValueError(
+                "combo needs exactly one of traffic= (open loop) or "
+                "workload= (closed loop)"
+            )
+        if self.workload:
+            object.__setattr__(self, "workload", WORKLOADS.canonical(self.workload))
+        else:
+            object.__setattr__(self, "traffic", TRAFFICS.canonical(self.traffic))
         if not self.label:
             object.__setattr__(
-                self, "label", f"{self.topology}|{self.policy}|{self.traffic}"
+                self,
+                "label",
+                f"{self.topology}|{self.policy}|{self.workload or self.traffic}",
             )
 
 
@@ -74,6 +87,9 @@ class ExperimentSpec:
     num_vcs: "int | None" = None
     vc_depth: "int | None" = None
     packet_size: int = 4
+    #: cycle budget for closed-loop (workload) cells; open-loop cells
+    #: use the warmup/measure/drain window instead
+    max_cycles: int = 200_000
 
     def __post_init__(self):
         combos = tuple(
@@ -101,6 +117,24 @@ class ExperimentSpec:
         )
         return cls(combos=combos, **kwargs)
 
+    @classmethod
+    def workload_grid(
+        cls, topologies, policies, workloads, loads=(0.0,), **kwargs
+    ) -> "ExperimentSpec":
+        """Closed-loop cross product: topology x policy x workload.
+
+        ``loads`` defaults to a single dummy point — a workload cell
+        runs to completion rather than at an offered load, so the load
+        axis only multiplies seeds (useful for replicated collectives).
+        """
+        combos = tuple(
+            Combo(t, p, workload=w)
+            for t in _aslist(topologies)
+            for p in _aslist(policies)
+            for w in _aslist(workloads)
+        )
+        return cls(combos=combos, loads=loads, **kwargs)
+
     def with_(self, **changes) -> "ExperimentSpec":
         """A copy with ``changes`` applied (frozen-dataclass update)."""
         return replace(self, **changes)
@@ -124,11 +158,26 @@ class ExperimentSpec:
             "num_vcs": self.num_vcs,
             "vc_depth": self.vc_depth,
             "packet_size": int(self.packet_size),
+            # The seed axis: workload cells key on the workload spec
+            # (prefixed so a traffic and a workload never collide).
             "seed": derive_seed(
-                self.root_seed, combo.topology, combo.policy, combo.traffic,
+                self.root_seed, combo.topology, combo.policy,
+                f"wl:{combo.workload}" if combo.workload else combo.traffic,
                 repr(load),
             ),
         }
+        if combo.workload:
+            # Only closed-loop cells carry the workload fields: open-loop
+            # cell *keys* are unchanged, so the v3 version bump refreshes
+            # their stale artifacts in place instead of orphaning them
+            # (the invalidation design cell_hash documents).  The
+            # open-loop window is dropped symmetrically — a workload
+            # runs to completion, so warmup/measure/drain must not
+            # perturb its cache key.
+            cell["workload"] = combo.workload
+            cell["max_cycles"] = int(self.max_cycles)
+            for window in ("warmup", "measure", "drain"):
+                del cell[window]
         cell["key"] = cell_hash(cell)
         return cell
 

@@ -32,6 +32,20 @@ equivalence tests pin this):
    recorded in.
 4. ``output_occupancy`` is an O(1) read of incrementally-maintained
    per-output backlog counters plus first-hop-class credit debt.
+
+**Workload mode** (closed loop): constructing a simulator with a
+:class:`~repro.workloads.Workload` replaces protocol step 1 — there is
+no Bernoulli draw at all.  Instead the cycle starts by draining the
+workload's ready queue (messages whose dependencies' tail flits have all
+ejected) into fixed-size packets, with one batched ``select_routes``
+call per cycle and per-router round-robin endpoint assignment; message
+completions commit at the end of the cycle (see
+:mod:`repro.workloads.state` for the precise eligibility semantics,
+shared verbatim by both engines).  Steps 2-4 are unchanged, and the
+golden rule still holds: flat and reference produce bit-identical
+:class:`~repro.workloads.WorkloadResult`\\ s per seed.  Closed-loop runs
+use :meth:`SimulatorCore.run_workload` instead of
+:meth:`SimulatorCore.run`.
 """
 
 from __future__ import annotations
@@ -160,12 +174,29 @@ def validate_sim_args(topo, policy, load: float, config: SimConfig) -> None:
         )
 
 
+def make_workload_state(workload, config: SimConfig, topo):
+    """Attach-time construction of the shared closed-loop bookkeeping.
+
+    ``None`` passes through, so engine constructors can accept
+    ``workload=None`` uniformly.  Imported lazily: the workloads package
+    sits above the engine layer.
+    """
+    if workload is None:
+        return None
+    from repro.workloads.state import WorkloadState
+
+    return WorkloadState(workload, config.packet_size, topo)
+
+
 class SimulatorCore:
     """Run-loop and congestion-view surface shared by both engines.
 
     Subclasses provide ``step()`` plus the state the protocol requires
     (``now``, ``load``, ``_measuring``, ``_stat``).
     """
+
+    #: closed-loop workload state; engine constructors set per instance
+    _wl = None
 
     def output_capacity(self) -> int:
         """Normalization for threshold-style adaptive decisions."""
@@ -176,6 +207,10 @@ class SimulatorCore:
 
     def run(self, warmup: int = 600, measure: int = 1200, drain: int = 300) -> SimResult:
         """Warm up, measure, optionally drain; returns the window's stats."""
+        if self._wl is not None:
+            raise RuntimeError(
+                "this simulator drives a workload; use run_workload()"
+            )
         for _ in range(warmup):
             self.step()
         self._measuring = True
@@ -191,6 +226,32 @@ class SimulatorCore:
             self.load = saved_load
         self.result = self._stat.finalize()
         return self._stat
+
+    def run_workload(self, max_cycles: int = 200_000):
+        """Run the attached workload to completion (or ``max_cycles``).
+
+        Closed-loop counterpart of :meth:`run`: the whole run is
+        measured (every packet contributes samples), and the loop exits
+        the cycle after the last message's tail flit ejects — so
+        ``cycles`` equals the collective's completion time when the run
+        finishes.  Returns a
+        :class:`~repro.workloads.WorkloadResult`.
+        """
+        if self._wl is None:
+            raise RuntimeError(
+                "no workload attached; pass workload= at construction"
+            )
+        from repro.workloads.result import build_workload_result
+
+        self._measuring = True
+        state = self._wl
+        while not state.done and self.now < max_cycles:
+            self.step()
+        self._stat.cycles = self.now
+        self._measuring = False
+        self._stat.finalize()
+        self.workload_result = build_workload_result(state, self._stat, self.topo)
+        return self.workload_result
 
 
 def _engine_classes() -> dict:
@@ -214,12 +275,16 @@ def make_simulator(
     config: "SimConfig | None" = None,
     seed=0,
     engine: "str | None" = None,
+    workload=None,
 ):
     """Construct a simulator for one cell with the selected engine.
 
     ``engine`` of ``None`` reads ``$REPRO_SIM_ENGINE`` (default
     ``"flat"``); set ``REPRO_SIM_ENGINE=reference`` to fall back to the
-    readable engine for debugging.
+    readable engine for debugging.  Passing a
+    :class:`~repro.workloads.Workload` switches the simulator to the
+    closed-loop protocol (``traffic`` may then be ``None`` and ``load``
+    is ignored — drive it with :meth:`SimulatorCore.run_workload`).
     """
     name = engine or os.environ.get(ENGINE_ENV, DEFAULT_ENGINE)
     classes = _engine_classes()
@@ -230,4 +295,6 @@ def make_simulator(
         )
     if config is None:
         config = SimConfig()
-    return classes[name](topo, policy, traffic, load, config=config, seed=seed)
+    return classes[name](
+        topo, policy, traffic, load, config=config, seed=seed, workload=workload
+    )

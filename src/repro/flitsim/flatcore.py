@@ -45,6 +45,7 @@ from repro.flitsim.engine import (
     SimConfig,
     SimResult,
     SimulatorCore,
+    make_workload_state,
     validate_sim_args,
 )
 from repro.flitsim.traffic import TrafficPattern
@@ -71,8 +72,7 @@ class FlatFabric:
     def __init__(self, topo: Topology):
         graph = topo.graph
         n = graph.n
-        nbrs = [graph.neighbors(r) for r in range(n)]
-        deg = np.fromiter((len(x) for x in nbrs), count=n, dtype=np.int64)
+        deg = np.diff(graph.indptr).astype(np.int64)
         conc = np.asarray(topo.concentration, dtype=np.int64)
         D = int(deg.max()) if n else 0
         C = int(conc.max()) if n else 0
@@ -93,15 +93,19 @@ class FlatFabric:
         self.rev_mat = np.full((n, cols), -1, dtype=np.int64)
         #: port_mat[u, v] = output port of u toward v (-1 if not adjacent)
         self.port_mat = np.full((n, n), -1, dtype=np.int64)
-        for r in range(n):
-            d = int(deg[r])
-            if d:
-                self.nbr_mat[r, :d] = nbrs[r]
-                self.port_mat[r, nbrs[r]] = np.arange(d)
-        for r in range(n):
-            d = int(deg[r])
-            if d:
-                self.rev_mat[r, :d] = self.port_mat[nbrs[r], r]
+        # One scatter over the directed edge list (the CSR itself) fills
+        # all three tables: directed edge e leaves router src_e through
+        # its port_e-th CSR slot toward indices[e], and the reverse port
+        # is a second gather through the freshly built port_mat.
+        indptr, indices = graph.indptr, graph.indices
+        if indices.size:
+            src_e = np.repeat(np.arange(n, dtype=np.int64), deg)
+            port_e = np.arange(indices.size, dtype=np.int64) - np.repeat(
+                indptr[:-1], deg
+            )
+            self.nbr_mat[src_e, port_e] = indices
+            self.port_mat[src_e, indices] = port_e
+            self.rev_mat[src_e, port_e] = self.port_mat[indices, src_e]
 
         self.E = topo.num_endpoints
         self.ep_router = np.asarray(topo.endpoint_routers, dtype=np.int64)
@@ -142,10 +146,11 @@ class FlatSimulator(SimulatorCore):
         self,
         topo: Topology,
         policy: RoutingPolicy,
-        traffic: TrafficPattern,
+        traffic: "TrafficPattern | None",
         load: float,
         config: SimConfig = SimConfig(),
         seed=0,
+        workload=None,
     ):
         validate_sim_args(topo, policy, load, config)
         self.topo = topo
@@ -154,6 +159,7 @@ class FlatSimulator(SimulatorCore):
         self.load = float(load)
         self.config = config
         self.rng = make_rng(seed)
+        self._wl = make_workload_state(workload, config, topo)
 
         fab = fabric_for(topo)
         self.fab = fab
@@ -206,6 +212,8 @@ class FlatSimulator(SimulatorCore):
         self.pkt_t_created = np.empty(self.pkt_cap, dtype=np.int64)
         self.pkt_len = np.empty(self.pkt_cap, dtype=np.int64)
         self.pkt_dst = np.full(self.pkt_cap, -1, dtype=np.int64)
+        #: owning workload message id per packet slot (-1 open loop)
+        self.pkt_msg = np.full(self.pkt_cap, -1, dtype=np.int64)
         self.pkt_measured = np.zeros(self.pkt_cap, dtype=bool)
         self.route_buf = np.zeros(self.pkt_cap * self.route_stride, dtype=np.int64)
         self._pslot_stack = np.arange(self.pkt_cap, dtype=np.int64)
@@ -224,8 +232,10 @@ class FlatSimulator(SimulatorCore):
         self._stat = SimResult(load, 0, fab.E)
 
         # Optional C cycle kernel (same protocol, same arrays); falls
-        # back to the pure-numpy phases when unavailable.
-        self._kernel = load_kernel()
+        # back to the pure-numpy phases when unavailable.  Workload mode
+        # always takes the numpy cycle path: the kernel knows nothing of
+        # message dependencies, and the C source stays untouched.
+        self._kernel = None if self._wl is not None else load_kernel()
         if self._kernel is not None:
             ffi = self._kernel.ffi
             grant_cap = n * O + fab.E
@@ -360,6 +370,7 @@ class FlatSimulator(SimulatorCore):
         stride = self.route_stride
         for name, fill in (
             ("pkt_t_created", None), ("pkt_len", None), ("pkt_dst", -1),
+            ("pkt_msg", -1),
         ):
             arr = getattr(self, name)
             new = np.empty(cap, dtype=np.int64) if fill is None else np.full(
@@ -393,20 +404,16 @@ class FlatSimulator(SimulatorCore):
     # ------------------------------------------------------------------
     # Injection (protocol step 1)
     # ------------------------------------------------------------------
-    def _inject(self) -> None:
-        cfg = self.config
-        ps = cfg.packet_size
-        prob = self.load / ps
-        if prob <= 0.0:
-            return
-        rng = self.rng
-        fab = self.fab
-        winners = np.flatnonzero(rng.random(fab.E) < prob)
-        if winners.size == 0:
-            return
-        srcs = fab.ep_router[winners]
-        dsts = self.traffic.dest_routers(srcs, rng)
-        routes = self.policy.select_routes(srcs, dsts, rng, congestion=self)
+    def _fill_packet_slots(self, srcs, dsts, pkt_mid=None):
+        """Select routes and populate packet slots for a same-cycle batch.
+
+        The half of injection both modes share: one batched
+        ``select_routes`` call, slot allocation, route-row/metadata
+        fill, and the injected-flit accounting.  Returns ``(slots, k)``;
+        the caller materializes the flit chains (numpy or C kernel) and
+        appends them to source FIFOs.
+        """
+        routes = self.policy.select_routes(srcs, dsts, self.rng, congestion=self)
         mat, lens = routes_as_matrix(routes)
         k = lens.size
         max_len = int(lens.max())
@@ -424,10 +431,44 @@ class FlatSimulator(SimulatorCore):
         self.pkt_len[slots] = lens
         self.pkt_dst[slots] = mat[np.arange(k), lens - 1]
         self.pkt_t_created[slots] = self.now
+        if pkt_mid is not None:
+            self.pkt_msg[slots] = pkt_mid
         self.pkt_measured[slots] = self._measuring
         self.packets_injected += k
         if self._measuring:
-            self._stat.injected_flits += k * ps
+            self._stat.injected_flits += k * self.config.packet_size
+        return slots, k
+
+    def _chain_flits(self, slots, k):
+        """Allocate and intra-link the flit rows of ``k`` fresh packets.
+
+        Returns the ``(k, packet_size)`` pool-row matrix, packets in
+        slot order, each packet's flits chained head to tail.
+        """
+        ps = self.config.packet_size
+        idx = self._alloc(k * ps).reshape(k, ps)
+        self.pool_pid[idx] = slots[:, None]
+        self.pool_seq[idx] = np.arange(ps, dtype=np.int64)[None, :]
+        self.pool_hop[idx] = 0
+        self.pool_ready[idx] = self.now
+        if ps > 1:
+            self.pool_next[idx[:, :-1]] = idx[:, 1:]
+        self.pool_next[idx[:, -1]] = -1
+        return idx
+
+    def _inject(self) -> None:
+        ps = self.config.packet_size
+        prob = self.load / ps
+        if prob <= 0.0:
+            return
+        rng = self.rng
+        fab = self.fab
+        winners = np.flatnonzero(rng.random(fab.E) < prob)
+        if winners.size == 0:
+            return
+        srcs = fab.ep_router[winners]
+        dsts = self.traffic.dest_routers(srcs, rng)
+        slots, k = self._fill_packet_slots(srcs, dsts)
 
         if self._kernel is not None:
             if self.free_top < k * ps:
@@ -442,22 +483,61 @@ class FlatSimulator(SimulatorCore):
             )
             return
 
-        idx = self._alloc(k * ps).reshape(k, ps)
-        self.pool_pid[idx] = slots[:, None]
-        self.pool_seq[idx] = np.arange(ps, dtype=np.int64)[None, :]
-        self.pool_hop[idx] = 0
-        self.pool_ready[idx] = self.now
-        if ps > 1:
-            self.pool_next[idx[:, :-1]] = idx[:, 1:]
-        self.pool_next[idx[:, -1]] = -1
+        idx = self._chain_flits(slots, k)
 
-        # Append each packet's flit chain to its endpoint FIFO.
+        # Append each packet's flit chain to its endpoint FIFO (winners
+        # are distinct endpoints — at most one packet each per cycle).
         first, last = idx[:, 0], idx[:, -1]
         tails = self.src_tail[winners]
         linked = tails >= 0
         self.pool_next[tails[linked]] = first[linked]
         self.src_head[winners[~linked]] = first[~linked]
         self.src_tail[winners] = last
+
+    def _inject_workload(self) -> None:
+        """Closed-loop protocol step 1, vectorized.
+
+        Drains the ready queue into packets (message-major,
+        packet-minor), one batched route selection for the cycle, then
+        appends every packet's flit chain to the FIFO of its
+        round-robin-assigned endpoint — handling several packets landing
+        on one endpoint in the same cycle, which Bernoulli injection
+        never produces.
+        """
+        st = self._wl
+        mids = st.pop_ready()
+        if mids.size == 0:
+            return
+        fab = self.fab
+        pkt_mid = np.repeat(mids, st.msg_pkts[mids])
+        srcs = st.workload.src[pkt_mid]
+        dsts = st.workload.dst[pkt_mid]
+        slots, k = self._fill_packet_slots(srcs, dsts, pkt_mid=pkt_mid)
+        idx = self._chain_flits(slots, k)
+
+        # FIFO append with possible same-endpoint collisions: group the
+        # packets by endpoint (stable, preserving injection order), link
+        # consecutive chains within a group, then splice each group onto
+        # its endpoint's existing tail.
+        eps = fab.ep_off[srcs] + st.next_endpoints(srcs)
+        first, last = idx[:, 0], idx[:, -1]
+        order = np.argsort(eps, kind="stable")
+        es, fo, lo = eps[order], first[order], last[order]
+        head = np.empty(k, dtype=bool)
+        head[0] = True
+        np.not_equal(es[1:], es[:-1], out=head[1:])
+        inner = np.flatnonzero(~head)
+        self.pool_next[lo[inner - 1]] = fo[inner]
+        tail = np.empty(k, dtype=bool)
+        tail[-1] = True
+        np.not_equal(es[1:], es[:-1], out=tail[:-1])
+        group_ep = es[head]
+        group_first = fo[head]
+        tails_cur = self.src_tail[group_ep]
+        linked = tails_cur >= 0
+        self.pool_next[tails_cur[linked]] = group_first[linked]
+        self.src_head[group_ep[~linked]] = group_first[~linked]
+        self.src_tail[group_ep] = lo[tail]
 
     # ------------------------------------------------------------------
     # Feed (protocol step 2)
@@ -621,6 +701,14 @@ class FlatSimulator(SimulatorCore):
                 self._stat.hop_counts.extend((self.pkt_len[measured] - 1).tolist())
             self._release(fe)
             if done.size:
+                if self._wl is not None:
+                    # Closed loop: report completed packets' messages
+                    # and their wire flit-hops before recycling slots.
+                    self._wl.note_tails(
+                        self.pkt_msg[done],
+                        int((self.pkt_len[done] - 1).sum())
+                        * self.config.packet_size,
+                    )
                 # The tail flit is the last of its packet out of the
                 # network: recycle the packet slot.
                 top = int(self._pslot_top[0])
@@ -646,10 +734,16 @@ class FlatSimulator(SimulatorCore):
 
     def step(self) -> None:
         """Advance the simulation by one cycle."""
-        self._inject()
-        if self._kernel is not None:
+        if self._wl is not None:
+            self._inject_workload()
+            self._feed()
+            self._route_phase()
+            self._wl.commit(self.now)
+        elif self._kernel is not None:
+            self._inject()
             self._kernel_cycle()
         else:
+            self._inject()
             self._feed()
             self._route_phase()
         self.now += 1

@@ -29,7 +29,7 @@ class Packet:
         Cycle at which the tail flit left the network (-1 while in flight).
     """
 
-    __slots__ = ("pid", "route", "size", "t_created", "t_ejected", "measured")
+    __slots__ = ("pid", "route", "size", "t_created", "t_ejected", "measured", "mid")
 
     def __init__(self, pid: int, route: tuple[int, ...], size: int, t_created: int):
         self.pid = pid
@@ -39,6 +39,8 @@ class Packet:
         self.t_ejected = -1
         #: whether this packet was created inside the measurement window
         self.measured = False
+        #: owning workload message id (-1 for open-loop traffic)
+        self.mid = -1
 
     @property
     def src(self) -> int:

@@ -39,6 +39,7 @@ from repro.flitsim.engine import (
     SimConfig,
     SimResult,
     SimulatorCore,
+    make_workload_state,
     validate_sim_args,
 )
 from repro.flitsim.packet import Packet
@@ -61,10 +62,11 @@ class NetworkSimulator(SimulatorCore):
         self,
         topo: Topology,
         policy: RoutingPolicy,
-        traffic: TrafficPattern,
+        traffic: "TrafficPattern | None",
         load: float,
         config: SimConfig = SimConfig(),
         seed=0,
+        workload=None,
     ):
         validate_sim_args(topo, policy, load, config)
         self.topo = topo
@@ -73,6 +75,11 @@ class NetworkSimulator(SimulatorCore):
         self.load = float(load)
         self.config = config
         self.rng = make_rng(seed)
+        # Closed-loop bookkeeping (None in open-loop Bernoulli mode);
+        # this cycle's ejected-tail message ids and their flit-hops.
+        self._wl = make_workload_state(workload, config, topo)
+        self._wl_tails: list = []
+        self._wl_hops = 0
 
         graph = topo.graph
         n = graph.n
@@ -185,6 +192,38 @@ class NetworkSimulator(SimulatorCore):
                 self._stat.injected_flits += cfg.packet_size
             q = self.src_q[src][int(endpoint) - int(offsets[src])]
             for seq in range(cfg.packet_size):
+                q.append((pkt, seq, 0, self.now))
+            self.src_active.add(src)
+
+    def _inject_workload(self) -> None:
+        """Closed-loop protocol step 1: drain the ready queue.
+
+        Every eligible message expands into fixed-size packets; one
+        batched route selection covers the whole cycle (message-major,
+        packet-minor — the RNG-consumption order both engines share),
+        and each packet enters the source FIFO of a round-robin-chosen
+        endpoint at the message's source router.
+        """
+        st = self._wl
+        mids = st.pop_ready()
+        if mids.size == 0:
+            return
+        cfg = self.config
+        ps = cfg.packet_size
+        pkt_mid = np.repeat(mids, st.msg_pkts[mids])
+        srcs = st.workload.src[pkt_mid]
+        dsts = st.workload.dst[pkt_mid]
+        routes = self.policy.select_routes(srcs, dsts, self.rng, congestion=self)
+        for mid, src, route in zip(pkt_mid, srcs, iter_routes(routes)):
+            src = int(src)
+            pkt = Packet(self._pid, route, ps, self.now)
+            self._pid += 1
+            pkt.mid = int(mid)
+            pkt.measured = self._measuring
+            if pkt.measured:
+                self._stat.injected_flits += ps
+            q = self.src_q[src][st.next_endpoint(src)]
+            for seq in range(ps):
                 q.append((pkt, seq, 0, self.now))
             self.src_active.add(src)
 
@@ -320,6 +359,9 @@ class NetworkSimulator(SimulatorCore):
                     # avoids survivor bias near saturation.
                     self._stat.latencies.append(pkt.latency)
                     self._stat.hop_counts.append(pkt.hops)
+                if pkt.mid >= 0:
+                    self._wl_tails.append(pkt.mid)
+                    self._wl_hops += pkt.hops * cfg.packet_size
             if self._measuring:
                 self._stat.ejected_flits += 1
             return
@@ -331,11 +373,21 @@ class NetworkSimulator(SimulatorCore):
 
     def step(self) -> None:
         """Advance the simulation by one cycle."""
-        self._inject()
+        if self._wl is not None:
+            self._inject_workload()
+        else:
+            self._inject()
         self._feed_injection_ports()
         grants: list = []
         for r in sorted(self.active):
             self._decide_router(r, grants)
         self._apply_grants(grants)
         self.active = {r for r in self.active if self.voq[r]}
+        if self._wl is not None and self._wl_tails:
+            self._wl.note_tails(
+                np.asarray(self._wl_tails, dtype=np.int64), self._wl_hops
+            )
+            self._wl_tails = []
+            self._wl_hops = 0
+            self._wl.commit(self.now)
         self.now += 1

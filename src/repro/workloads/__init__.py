@@ -1,0 +1,52 @@
+"""repro.workloads — closed-loop workload engine.
+
+A workload is a DAG of sized messages between terminal routers
+(:class:`Message` / :class:`Workload`); the simulation engines drive it
+*closed-loop* — a message injects only once its dependencies' tail
+flits have ejected — and report :class:`WorkloadResult` completion-time
+metrics instead of steady-state load/latency curves.
+
+Generators for the standard HPC/ML patterns (ring and
+recursive-doubling all-reduce, all-to-all, halo/stencil exchange,
+parameter-server incast) plus JSONL trace replay register themselves in
+the :data:`~repro.experiments.registry.WORKLOADS` spec registry, so a
+closed-loop cell is one more spec string a sweep can hash, cache, and
+ship to workers:
+
+    from repro.experiments import ExperimentSpec, SweepRunner
+
+    spec = ExperimentSpec.workload_grid(
+        ["polarfly:conc=2,q=7", "slimfly:conc=2,q=5"],
+        ["min", "ugal-pf"],
+        ["allreduce:algo=ring,size=64", "alltoall:size=8"],
+    )
+    result = SweepRunner.with_default_cache().run(spec)
+"""
+
+from repro.workloads.message import Message, Workload
+from repro.workloads.state import WorkloadState
+from repro.workloads.result import WorkloadResult, build_workload_result
+from repro.workloads.generators import (
+    all_to_all,
+    halo_exchange,
+    incast,
+    load_trace,
+    recursive_doubling_allreduce,
+    ring_allreduce,
+    terminal_routers,
+)
+
+__all__ = [
+    "Message",
+    "Workload",
+    "WorkloadState",
+    "WorkloadResult",
+    "build_workload_result",
+    "terminal_routers",
+    "ring_allreduce",
+    "recursive_doubling_allreduce",
+    "all_to_all",
+    "halo_exchange",
+    "incast",
+    "load_trace",
+]

@@ -1,0 +1,274 @@
+"""Workload generators: collectives, stencils, incast, and trace replay.
+
+Every generator is registered in the :data:`~repro.experiments.registry.WORKLOADS`
+registry (mirroring ``TRAFFICS``), so a closed-loop experiment cell is
+just one more spec string — ``"allreduce:algo=ring,size=64"`` — that can
+be hashed, cached, and rebuilt inside a sweep worker.
+
+All generators operate on the topology's *terminal* routers (those with
+``concentration > 0``) — on a fat tree that is the edge switches — and
+every dependency structure matches the textbook algorithm:
+
+* **ring all-reduce** — reduce-scatter then all-gather around a ring:
+  ``2(N-1)`` steps, each rank forwarding one chunk per step to its ring
+  successor, each send gated on the chunk received the previous step.
+* **recursive-doubling all-reduce** — ``log2(P)`` pairwise exchange
+  rounds on the largest power-of-two subset of ranks, each round's send
+  gated on the partner message received the round before.
+* **all-to-all** — the dependency-free personalized exchange (every rank
+  to every other rank at once): pure bisection stress.
+* **halo** — iterated nearest-neighbor exchange on a 2D torus of ranks,
+  each iteration's sends gated on all halos received the previous
+  iteration (the BSP stencil pattern).
+* **incast** — all workers to one parameter server; with ``reply`` the
+  server's broadcast back is gated on *every* incast arriving (the
+  synchronous parameter-server barrier).
+* **trace** — replay of a JSONL message trace (see :func:`load_trace`
+  for the schema), for workloads captured from real applications.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.experiments.registry import WORKLOADS
+from repro.workloads.message import Message, Workload
+
+__all__ = [
+    "terminal_routers",
+    "ring_allreduce",
+    "recursive_doubling_allreduce",
+    "all_to_all",
+    "halo_exchange",
+    "incast",
+    "load_trace",
+]
+
+
+def terminal_routers(topo) -> np.ndarray:
+    """Routers hosting endpoints — the workload's rank space."""
+    terminals = np.flatnonzero(topo.concentration > 0)
+    if terminals.size < 2:
+        raise ValueError("workloads need at least two terminal routers")
+    return terminals
+
+
+# ----------------------------------------------------------------------
+# All-reduce
+# ----------------------------------------------------------------------
+def ring_allreduce(topo, size: int = 64) -> Workload:
+    """Ring all-reduce of a ``size``-flit vector per rank.
+
+    Reduce-scatter (steps ``0..N-2``) then all-gather (steps
+    ``N-1..2N-3``): at every step each rank sends one ``size/N`` chunk
+    (at least one flit) to its ring successor, gated on the chunk it
+    received the previous step — a length-``2(N-1)`` chain per rank,
+    ``2(N-1) * N`` messages total.
+    """
+    t = terminal_routers(topo)
+    n = t.size
+    chunk = max(1, int(size) // n)
+    steps = 2 * (n - 1)
+    msgs = []
+    for s in range(steps):
+        for i in range(n):
+            deps = (int((s - 1) * n + (i - 1) % n),) if s else ()
+            msgs.append(
+                Message(int(t[i]), int(t[(i + 1) % n]), chunk, deps)
+            )
+    return Workload(f"allreduce-ring(size={size})", msgs, topo)
+
+
+def recursive_doubling_allreduce(topo, size: int = 64) -> Workload:
+    """Recursive-doubling all-reduce on the largest 2^k terminal subset.
+
+    Round ``s`` pairs rank ``i`` with ``i XOR 2**s``; both exchange the
+    full ``size``-flit vector, gated on the message received in round
+    ``s - 1``.  ``P * log2(P)`` messages.
+    """
+    t = terminal_routers(topo)
+    p = 1 << (int(t.size).bit_length() - 1)
+    if p < 2:
+        raise ValueError("recursive doubling needs >= 2 terminal routers")
+    rounds = p.bit_length() - 1
+    msgs = []
+    for s in range(rounds):
+        for i in range(p):
+            partner = i ^ (1 << s)
+            deps = ((s - 1) * p + (i ^ (1 << (s - 1))),) if s else ()
+            msgs.append(Message(int(t[i]), int(t[partner]), int(size), deps))
+    return Workload(f"allreduce-rd(size={size})", msgs, topo)
+
+
+# ----------------------------------------------------------------------
+# All-to-all, halo, incast
+# ----------------------------------------------------------------------
+def all_to_all(topo, size: int = 8) -> Workload:
+    """Personalized all-to-all: every rank sends ``size`` flits to every
+    other rank, dependency-free — ``N(N-1)`` concurrent messages."""
+    t = terminal_routers(topo)
+    msgs = [
+        Message(int(a), int(b), int(size))
+        for a in t
+        for b in t
+        if a != b
+    ]
+    return Workload(f"alltoall(size={size})", msgs, topo)
+
+
+def _torus_grid(n: int) -> tuple:
+    """(rows, cols) of the squarest torus covering exactly ``n`` ranks."""
+    rows = 1
+    for d in range(int(np.sqrt(n)), 0, -1):
+        if n % d == 0:
+            rows = d
+            break
+    return rows, n // rows
+
+
+def halo_exchange(topo, size: int = 16, iters: int = 2) -> Workload:
+    """Iterated 2D-torus halo/stencil exchange over all terminal ranks.
+
+    Ranks form the squarest ``rows x cols`` torus with ``rows * cols ==
+    N`` (a ring when ``N`` is prime); each iteration every rank sends a
+    ``size``-flit halo to each distinct torus neighbor, gated on all
+    halos it received the previous iteration.
+    """
+    t = terminal_routers(topo)
+    n = t.size
+    rows, cols = _torus_grid(n)
+
+    def nbrs(i: int) -> list:
+        r, c = divmod(i, cols)
+        cand = [
+            ((r - 1) % rows) * cols + c,
+            ((r + 1) % rows) * cols + c,
+            r * cols + (c - 1) % cols,
+            r * cols + (c + 1) % cols,
+        ]
+        out: list = []
+        for x in cand:
+            if x != i and x not in out:
+                out.append(x)
+        return out
+
+    neighbor = [nbrs(i) for i in range(n)]
+    # Message id layout: iteration-major, rank-major, neighbor-minor.
+    offsets = np.concatenate(
+        [[0], np.cumsum([len(x) for x in neighbor])]
+    ).astype(np.int64)
+    per_iter = int(offsets[-1])
+    # recv_ids[i] = ids (within one iteration) of messages arriving at i
+    recv_ids: list = [[] for _ in range(n)]
+    for i in range(n):
+        for j, v in enumerate(neighbor[i]):
+            recv_ids[v].append(int(offsets[i]) + j)
+    msgs = []
+    for k in range(int(iters)):
+        for i in range(n):
+            deps = (
+                tuple((k - 1) * per_iter + d for d in recv_ids[i]) if k else ()
+            )
+            for v in neighbor[i]:
+                msgs.append(Message(int(t[i]), int(t[v]), int(size), deps))
+    return Workload(f"halo(size={size},iters={iters})", msgs, topo)
+
+
+def incast(topo, size: int = 32, root: int = 0, reply: bool = False) -> Workload:
+    """Parameter-server incast: every worker sends ``size`` flits to the
+    ``root``-th terminal router; with ``reply`` the server answers each
+    worker, gated on *all* incast messages (the sync barrier)."""
+    t = terminal_routers(topo)
+    if not 0 <= int(root) < t.size:
+        raise ValueError(f"root must index a terminal rank [0, {t.size})")
+    server = int(t[int(root)])
+    workers = [int(x) for x in t if int(x) != server]
+    msgs = [Message(w, server, int(size)) for w in workers]
+    if reply:
+        barrier = tuple(range(len(workers)))
+        msgs.extend(Message(server, w, int(size), barrier) for w in workers)
+    return Workload(f"incast(size={size},reply={reply})", msgs, topo)
+
+
+# ----------------------------------------------------------------------
+# Trace replay
+# ----------------------------------------------------------------------
+def load_trace(path: str, topo=None) -> Workload:
+    """Load a JSONL message trace as a :class:`Workload`.
+
+    Schema — one JSON object per line::
+
+        {"id": <any>, "src": <router>, "dst": <router>,
+         "size": <flits>, "deps": [<id>, ...]}
+
+    ``id`` values may be any JSON scalars; they are mapped to dense
+    message indices in file order (``deps`` must reference ids of
+    earlier or later lines — forward references are allowed as long as
+    the whole graph is acyclic).  ``deps`` may be omitted for root
+    messages.
+    """
+    records = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: bad JSON ({exc})") from exc
+            for key in ("id", "src", "dst", "size"):
+                if key not in rec:
+                    raise ValueError(f"{path}:{lineno}: missing {key!r}")
+            records.append(rec)
+    index = {}
+    for i, rec in enumerate(records):
+        if rec["id"] in index:
+            raise ValueError(f"duplicate trace message id {rec['id']!r}")
+        index[rec["id"]] = i
+    msgs = []
+    for rec in records:
+        try:
+            deps = tuple(index[d] for d in rec.get("deps", ()))
+        except KeyError as exc:
+            raise ValueError(
+                f"trace message {rec['id']!r} depends on unknown id {exc}"
+            ) from exc
+        msgs.append(Message(int(rec["src"]), int(rec["dst"]), int(rec["size"]), deps))
+    return Workload(f"trace({path})", msgs, topo)
+
+
+# ----------------------------------------------------------------------
+# Spec registrations — factories take (topo, **spec kwargs)
+# ----------------------------------------------------------------------
+@WORKLOADS.register("allreduce", example="allreduce:algo=ring,size=64")
+def _allreduce_from_spec(topo, algo: str = "ring", size: int = 64) -> Workload:
+    if algo == "ring":
+        return ring_allreduce(topo, size=size)
+    if algo == "rd":
+        return recursive_doubling_allreduce(topo, size=size)
+    raise ValueError(f"unknown all-reduce algo {algo!r}; choose ring or rd")
+
+
+@WORKLOADS.register("alltoall", example="alltoall:size=8")
+def _alltoall_from_spec(topo, size: int = 8) -> Workload:
+    return all_to_all(topo, size=size)
+
+
+@WORKLOADS.register("halo", example="halo:iters=2,size=16")
+def _halo_from_spec(topo, size: int = 16, iters: int = 2) -> Workload:
+    return halo_exchange(topo, size=size, iters=iters)
+
+
+@WORKLOADS.register("incast", example="incast:reply=true,size=32")
+def _incast_from_spec(
+    topo, size: int = 32, root: int = 0, reply: bool = False
+) -> Workload:
+    return incast(topo, size=size, root=root, reply=reply)
+
+
+@WORKLOADS.register("trace")
+def _trace_from_spec(topo, path: str) -> Workload:
+    return load_trace(path, topo)

@@ -1,0 +1,195 @@
+"""Workload completion metrics: the closed-loop analogue of ``SimResult``.
+
+Open-loop runs report steady-state latency/throughput at an offered
+load; a closed-loop run instead answers *how long did the communication
+take* — collective completion time, the per-message latency
+distribution, and how hard the run drove the network's bisection.  The
+result is built from the engine-agnostic
+:class:`~repro.workloads.state.WorkloadState` plus the engine's flit
+statistics, so the flat and reference engines produce bit-identical
+:class:`WorkloadResult`\\ s for the same seed (pinned by the workload
+equivalence tests).
+
+Bisection utilization uses the repo's own balanced-partition machinery
+(:func:`repro.analysis.bisection.bisection_cut`, spectral + KL — the
+paper's Figure 12 metric): cross-cut wire flits of completed messages,
+divided by the cut's flit capacity over the run
+(``cycles x cut_links`` per direction; the binding direction is
+reported).  The cut is memoized per topology object.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["WorkloadResult", "build_workload_result"]
+
+#: per-topology-object memo of (side, cut_links) balanced bisections
+_CUT_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _bisection_for(topo):
+    memo = _CUT_MEMO.get(topo)
+    if memo is None:
+        from repro.analysis.bisection import bisection_cut
+
+        memo = _CUT_MEMO[topo] = bisection_cut(topo)
+    return memo
+
+
+@dataclass
+class WorkloadResult:
+    """Completion-time measurements of one closed-loop run."""
+
+    workload: str
+    num_messages: int
+    completed_messages: int
+    #: True iff every message completed within the cycle budget
+    finished: bool
+    #: simulated cycles (== makespan when ``finished``)
+    cycles: int
+    num_endpoints: int
+    #: requested payload flits across all messages
+    payload_flits: int
+    #: flits actually put on the wire (payload rounded up to packets)
+    wire_flits: int
+    injected_flits: int
+    ejected_flits: int
+    #: total link traversals weighted by flits
+    flit_hops: int
+    #: per-completed-message latency (complete - eligible), id order
+    msg_latencies: np.ndarray
+    #: per-packet latencies/hops in ejection order (engine sample order)
+    packet_latencies: np.ndarray
+    hop_counts: np.ndarray
+    #: completed wire flits crossing the balanced bisection, per direction
+    cross_flits_fwd: int = 0
+    cross_flits_rev: int = 0
+    #: links crossing the balanced bisection
+    bisection_links: int = 0
+    #: per-message completion cycles (-1 while incomplete), id order
+    msg_complete_cycles: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    # ------------------------------------------------------------------
+    # Headline numbers
+    # ------------------------------------------------------------------
+    @property
+    def completion_time(self) -> int:
+        """Collective completion time in cycles (-1 if unfinished)."""
+        return self.cycles if self.finished else -1
+
+    @property
+    def avg_msg_latency(self) -> float:
+        lat = self.msg_latencies
+        return float(np.mean(lat)) if len(lat) else float("nan")
+
+    def msg_latency_percentile(self, pct: float) -> float:
+        lat = self.msg_latencies
+        return float(np.percentile(lat, pct)) if len(lat) else float("nan")
+
+    @property
+    def p50_msg_latency(self) -> float:
+        return self.msg_latency_percentile(50)
+
+    @property
+    def p99_msg_latency(self) -> float:
+        return self.msg_latency_percentile(99)
+
+    @property
+    def avg_packet_latency(self) -> float:
+        lat = self.packet_latencies
+        return float(np.mean(lat)) if len(lat) else float("nan")
+
+    def packet_latency_percentile(self, pct: float) -> float:
+        lat = self.packet_latencies
+        return float(np.percentile(lat, pct)) if len(lat) else float("nan")
+
+    @property
+    def avg_hops(self) -> float:
+        hops = self.hop_counts
+        return float(np.mean(hops)) if len(hops) else float("nan")
+
+    @property
+    def achieved_throughput(self) -> float:
+        """Ejected flits per endpoint per cycle over the whole run."""
+        if self.cycles <= 0 or self.num_endpoints == 0:
+            return 0.0
+        return self.ejected_flits / (self.cycles * self.num_endpoints)
+
+    @property
+    def bisection_utilization(self) -> float:
+        """Fraction of the bisection's capacity the run consumed.
+
+        Cross-cut wire flits of the binding direction over the cut's
+        flit capacity (``cycles x cut_links``, one flit per link per
+        cycle per direction).
+        """
+        if self.cycles <= 0 or self.bisection_links == 0:
+            return 0.0
+        return max(self.cross_flits_fwd, self.cross_flits_rev) / (
+            self.cycles * self.bisection_links
+        )
+
+    def summary(self) -> dict:
+        """JSON-safe headline statistics (what sweep cells persist)."""
+        return {
+            "workload": self.workload,
+            "num_messages": self.num_messages,
+            "completed_messages": self.completed_messages,
+            "finished": self.finished,
+            "completion_cycles": self.completion_time,
+            "cycles": self.cycles,
+            "payload_flits": self.payload_flits,
+            "wire_flits": self.wire_flits,
+            "flit_hops": self.flit_hops,
+            "avg_msg_latency": self.avg_msg_latency,
+            "p50_msg_latency": self.p50_msg_latency,
+            "p99_msg_latency": self.p99_msg_latency,
+            "achieved_throughput": self.achieved_throughput,
+            "bisection_utilization": self.bisection_utilization,
+        }
+
+
+def build_workload_result(state, stat, topo) -> WorkloadResult:
+    """Assemble a :class:`WorkloadResult` after the run loop exits.
+
+    ``state`` is the engine's :class:`~repro.workloads.state.WorkloadState`,
+    ``stat`` its finalized :class:`~repro.flitsim.engine.SimResult` (flit
+    counts and per-packet samples in the shared recording order).
+    """
+    wl = state.workload
+    completed = np.flatnonzero(state.complete_cycle >= 0)
+    latencies = (
+        state.complete_cycle[completed] - state.eligible_cycle[completed]
+    ).astype(np.int64)
+
+    side, cut_links = _bisection_for(topo)
+    done_wire = state.msg_pkts[completed] * state.packet_size
+    src_side = side[wl.src[completed]]
+    dst_side = side[wl.dst[completed]]
+    fwd = int(done_wire[(~src_side) & dst_side].sum())
+    rev = int(done_wire[src_side & (~dst_side)].sum())
+
+    return WorkloadResult(
+        workload=wl.name,
+        num_messages=wl.num_messages,
+        completed_messages=int(completed.size),
+        finished=state.done,
+        cycles=int(stat.cycles),
+        num_endpoints=int(stat.num_endpoints),
+        payload_flits=wl.total_payload_flits,
+        wire_flits=state.wire_flits,
+        injected_flits=int(stat.injected_flits),
+        ejected_flits=int(stat.ejected_flits),
+        flit_hops=int(state.flit_hops),
+        msg_latencies=latencies,
+        packet_latencies=np.asarray(stat.latencies, dtype=np.int64),
+        hop_counts=np.asarray(stat.hop_counts, dtype=np.int64),
+        cross_flits_fwd=fwd,
+        cross_flits_rev=rev,
+        bisection_links=int(cut_links),
+        msg_complete_cycles=state.complete_cycle.copy(),
+    )

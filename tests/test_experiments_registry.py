@@ -4,7 +4,7 @@ re-serializes to itself; unknown/malformed specs fail loudly."""
 import pytest
 
 from repro.core import PolarFly
-from repro.experiments import POLICIES, TOPOLOGIES, TRAFFICS, Registry
+from repro.experiments import POLICIES, TOPOLOGIES, TRAFFICS, WORKLOADS, Registry
 from repro.routing import RoutingTables
 from repro.topologies.base import Topology
 
@@ -14,7 +14,7 @@ def pf_tables():
     return RoutingTables(PolarFly(5, concentration=2))
 
 
-ALL_REGISTRIES = [TOPOLOGIES, POLICIES, TRAFFICS]
+ALL_REGISTRIES = [TOPOLOGIES, POLICIES, TRAFFICS, WORKLOADS]
 
 
 class TestRoundTrip:

@@ -69,6 +69,11 @@ def main(argv=None) -> int:
         help="skip the construction benchmark section",
     )
     parser.add_argument(
+        "--no-workloads",
+        action="store_true",
+        help="skip the closed-loop workload benchmark section",
+    )
+    parser.add_argument(
         "--check-construction",
         type=float,
         default=None,
@@ -103,6 +108,7 @@ def main(argv=None) -> int:
         measure=args.measure,
         seed=args.seed,
         construction=not args.no_construction,
+        workloads=not args.no_workloads,
     )
     path = write_bench_json(doc, args.out)
 
@@ -119,6 +125,24 @@ def main(argv=None) -> int:
             failed.append(
                 f"{name} speedup {speedup:.2f}x < required {args.check:.2f}x"
             )
+
+    for name, entry in doc.get("workloads", {}).items():
+        eng = entry["engines"]
+        line = (
+            f"{name:28s} completion {entry['completion_cycles']:6d} cyc   "
+            f"msgs {entry['num_messages']:5d}   bisect "
+            f"{entry['bisection_utilization']:.3f}"
+        )
+        if "speedup_flat_over_reference" in entry:
+            line += f"   speedup {entry['speedup_flat_over_reference']:.2f}x"
+        print(line)
+        if args.check is not None and "speedup_flat_over_reference" in entry:
+            speedup = entry["speedup_flat_over_reference"]
+            if speedup < args.check:
+                failed.append(
+                    f"workload {name} speedup {speedup:.2f}x < required "
+                    f"{args.check:.2f}x"
+                )
 
     for name, entry in doc.get("construction", {}).items():
         rt = entry["routing_tables"]
