@@ -91,8 +91,10 @@ from repro.experiments import (
     POLICIES,
     TRAFFICS,
     WORKLOADS,
+    FAULTS,
 )
 from repro.workloads import Message, Workload, WorkloadResult
+from repro.faults import FaultEvent, FaultTimeline, FaultResult, prepare_fault_policy
 
 __version__ = "1.1.0"
 
@@ -148,8 +150,13 @@ __all__ = [
     "POLICIES",
     "TRAFFICS",
     "WORKLOADS",
+    "FAULTS",
     "Message",
     "Workload",
     "WorkloadResult",
+    "FaultEvent",
+    "FaultTimeline",
+    "FaultResult",
+    "prepare_fault_policy",
     "__version__",
 ]

@@ -55,8 +55,9 @@ def link_failure_sweep(
     steps:
         Failure-ratio checkpoints (default ``0, 0.05, ..., 0.95``).
     sample_sources:
-        BFS source sampling for diameter/ASPL on large graphs (exact when
-        None).
+        BFS source sampling for diameter/ASPL on large graphs (exact
+        when None).  Sampled mode draws *one* source set per checkpoint,
+        shared by both metrics.
     stop_on_disconnect:
         End the sweep at the first disconnected checkpoint (the paper's
         plots stop there too).
@@ -76,16 +77,14 @@ def link_failure_sweep(
         kill = int(round(ratio * edges.shape[0]))
         # The doomed set ships as an array slice: remove_edges and the
         # Graph constructor both take the vectorized path, so a
-        # checkpoint costs no Python loop over the edge set.
+        # checkpoint costs no Python loop over the edge set — and both
+        # metrics come out of one batched all-pairs BFS pass instead of
+        # a pass each.
         g = graph.remove_edges(edges[order[:kill]])
-        d = g.diameter(sample=sample_sources, rng=rng)
+        d, aspl = g.diameter_and_aspl(sample=sample_sources, rng=rng)
         ratios.append(float(ratio))
         diams.append(d)
-        aspls.append(
-            g.average_shortest_path_length(sample=sample_sources, rng=rng)
-            if d >= 0
-            else float("inf")
-        )
+        aspls.append(aspl)
         if d < 0 and stop_on_disconnect:
             break
     return FailureSweep(

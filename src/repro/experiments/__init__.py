@@ -36,6 +36,7 @@ lazily via PEP 562 so no import cycle can form.
 """
 
 from repro.experiments.registry import (
+    FAULTS,
     POLICIES,
     Registry,
     TOPOLOGIES,
@@ -49,6 +50,7 @@ __all__ = [
     "POLICIES",
     "TRAFFICS",
     "WORKLOADS",
+    "FAULTS",
     "Combo",
     "ExperimentSpec",
     "cell_hash",

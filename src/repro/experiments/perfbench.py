@@ -32,11 +32,14 @@ __all__ = [
     "CONSTRUCTION_SPECS",
     "CONSTRUCTION_GATE",
     "WORKLOAD_CELLS",
+    "FAULT_CELLS",
     "bench_cell",
     "bench_workload_cell",
+    "bench_fault_cell",
     "bench_construction_spec",
     "run_construction_benchmarks",
     "run_workload_benchmarks",
+    "run_fault_benchmarks",
     "run_benchmarks",
     "machine_info",
     "write_bench_json",
@@ -85,6 +88,17 @@ WORKLOAD_CELLS = {
     ),
     "alltoall_pf_q7": dict(
         topology="polarfly:conc=2,q=7", policy="min", workload="alltoall:size=8",
+    ),
+}
+
+#: The canonical resilience-under-load cell: the Figure-9 headline
+#: configuration with a mid-run MTBF link failure/repair process — the
+#: fault phase rides the numpy cycle path (no C kernel), so this cell
+#: tracks the fault subsystem's engine overhead and drop accounting.
+FAULT_CELLS = {
+    "fig14_pf_ugalpf_mtbf": dict(
+        topology="polarfly:conc=2,q=7", policy="ugal-pf", traffic="uniform",
+        load=0.5, faults="mtbf:count=3,mtbf=250,mttr=200,seed=2,start=150",
     ),
 }
 
@@ -203,6 +217,86 @@ def bench_workload_cell(
     return result
 
 
+def bench_fault_cell(
+    cell: dict,
+    warmup: int = 150,
+    measure: int = 400,
+    seed: int = 1,
+    engines=("reference", "flat"),
+) -> dict:
+    """Time one faulted open-loop cell per engine.
+
+    The engines are pinned bit-identical under faults, so the recorded
+    drop counters are engine-agnostic; a divergence fails loudly rather
+    than committing a silently wrong baseline.
+    """
+    from repro.experiments.registry import FAULTS
+    from repro.faults import prepare_fault_policy
+    from repro.routing.tables import RoutingTables
+
+    topo = TOPOLOGIES.create(cell["topology"])
+    tables = RoutingTables(topo)
+    traffic = TRAFFICS.create(cell["traffic"], topo)
+    cycles = warmup + measure
+    result: dict = {"cell": dict(cell), "cycles": cycles, "engines": {}}
+    for engine in engines:
+        # Fault state (and the policy it pins) is single-run: rebuild.
+        timeline = FAULTS.create(cell["faults"], topo)
+        policy = POLICIES.create(cell["policy"], tables)
+        prepare_fault_policy(policy, timeline, topo)
+        sim = make_simulator(
+            topo, policy, traffic, cell["load"],
+            config=auto_sim_config(policy), seed=seed, engine=engine,
+            faults=timeline,
+        )
+        start = time.perf_counter()
+        for _ in range(cycles):
+            sim.step()
+        wall = time.perf_counter() - start
+        result["engines"][engine] = {
+            "wall_s": wall,
+            "cycles_per_sec": cycles / wall,
+        }
+        counters = {
+            "dropped_flits": sim._fault.dropped_flits,
+            "dropped_packets": sim._fault.dropped_packets,
+            "damaged_packets": sim._fault.damaged_packets,
+            "blackholed_packets": sim._fault.blackholed_packets,
+            "fault_applied_events": sim._fault.applied_events,
+        }
+        if "dropped_flits" in result and {
+            k: result[k] for k in counters
+        } != counters:
+            raise RuntimeError(
+                f"engine divergence on faulted cell {cell}: {engine} saw "
+                f"{counters}"
+            )
+        result.update(counters)
+    eng = result["engines"]
+    if "reference" in eng and "flat" in eng:
+        result["speedup_flat_over_reference"] = (
+            eng["flat"]["cycles_per_sec"] / eng["reference"]["cycles_per_sec"]
+        )
+    return result
+
+
+def run_fault_benchmarks(
+    cells: "dict | None" = None,
+    warmup: int = 150,
+    measure: int = 400,
+    seed: int = 1,
+    engines=("reference", "flat"),
+) -> dict:
+    """The ``faults`` section of ``BENCH_flitsim.json``."""
+    cells = FAULT_CELLS if cells is None else cells
+    return {
+        name: bench_fault_cell(
+            cell, warmup=warmup, measure=measure, seed=seed, engines=engines
+        )
+        for name, cell in cells.items()
+    }
+
+
 def run_workload_benchmarks(
     cells: "dict | None" = None,
     max_cycles: int = 100_000,
@@ -315,6 +409,7 @@ def run_benchmarks(
     engines=("reference", "flat"),
     construction: bool = True,
     workloads: bool = True,
+    faults: bool = True,
 ) -> dict:
     """Run every cell and assemble the ``BENCH_flitsim.json`` document."""
     cells = CANONICAL_CELLS if cells is None else cells
@@ -332,6 +427,10 @@ def run_benchmarks(
         )
     if workloads:
         doc["workloads"] = run_workload_benchmarks(seed=seed, engines=engines)
+    if faults:
+        doc["faults"] = run_fault_benchmarks(
+            warmup=warmup, measure=measure, seed=seed, engines=engines
+        )
     if construction:
         doc["construction"] = run_construction_benchmarks()
     return doc

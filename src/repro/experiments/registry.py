@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import importlib
 
-__all__ = ["Registry", "TOPOLOGIES", "POLICIES", "TRAFFICS", "WORKLOADS"]
+__all__ = ["Registry", "TOPOLOGIES", "POLICIES", "TRAFFICS", "WORKLOADS", "FAULTS"]
 
 
 def _parse_value(text: str):
@@ -191,3 +191,6 @@ TRAFFICS = Registry(
 #: closed-loop workload generators; factories take ``(topo, **kwargs)``
 #: and return a :class:`repro.workloads.Workload`
 WORKLOADS = Registry("workload", providers=("repro.workloads.generators",))
+#: fault-timeline generators; factories take ``(topo, **kwargs)`` and
+#: return a :class:`repro.faults.FaultTimeline`
+FAULTS = Registry("fault timeline", providers=("repro.faults.timeline",))

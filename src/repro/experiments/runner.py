@@ -30,7 +30,13 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.experiments.cache import ResultCache
-from repro.experiments.registry import POLICIES, TOPOLOGIES, TRAFFICS, WORKLOADS
+from repro.experiments.registry import (
+    FAULTS,
+    POLICIES,
+    TOPOLOGIES,
+    TRAFFICS,
+    WORKLOADS,
+)
 from repro.experiments.spec import ExperimentSpec
 from repro.flitsim.engine import (
     DEFAULT_ENGINE,
@@ -108,6 +114,7 @@ def simulate_point(
     drain: int = 300,
     seed=0,
     engine: "str | None" = None,
+    faults=None,
 ) -> SimResult:
     """Run one simulation cell on already-built objects.
 
@@ -115,14 +122,22 @@ def simulate_point(
     benchmarks, examples, and cache-missing sweep cells all end here.
     ``engine`` of ``None`` selects the struct-of-arrays flat engine
     unless ``$REPRO_SIM_ENGINE`` overrides it; the two engines are
-    result-equivalent, so cached artifacts are engine-agnostic.
+    result-equivalent, so cached artifacts are engine-agnostic.  With a
+    ``faults`` timeline the returned result carries the run's
+    :class:`~repro.faults.FaultResult` as ``.fault`` (size the config
+    via :func:`~repro.faults.prepare_fault_policy` first, or pass
+    ``config=None`` after preparing the policy).
     """
     if config is None:
         config = auto_sim_config(policy)
     sim = make_simulator(
-        topo, policy, traffic, float(load), config=config, seed=seed, engine=engine
+        topo, policy, traffic, float(load), config=config, seed=seed,
+        engine=engine, faults=faults,
     )
-    return sim.run(warmup=warmup, measure=measure, drain=drain)
+    res = sim.run(warmup=warmup, measure=measure, drain=drain)
+    if sim.fault_result is not None:
+        res.fault = sim.fault_result
+    return res
 
 
 def simulate_workload(
@@ -133,21 +148,26 @@ def simulate_workload(
     max_cycles: int = 200_000,
     seed=0,
     engine: "str | None" = None,
+    faults=None,
 ):
     """Run one closed-loop workload cell on already-built objects.
 
     The workload counterpart of :func:`simulate_point`: every
     closed-loop simulation in the repo — benchmarks, examples, and
     cache-missing workload sweep cells — ends here.  Returns a
-    :class:`~repro.workloads.WorkloadResult`.
+    :class:`~repro.workloads.WorkloadResult` (carrying ``.fault`` when a
+    timeline was attached).
     """
     if config is None:
         config = auto_sim_config(policy)
     sim = make_simulator(
         topo, policy, None, 0.0, config=config, seed=seed, engine=engine,
-        workload=workload,
+        workload=workload, faults=faults,
     )
-    return sim.run_workload(max_cycles=max_cycles)
+    res = sim.run_workload(max_cycles=max_cycles)
+    if sim.fault_result is not None:
+        res.fault = sim.fault_result
+    return res
 
 
 def _build_cell_objects(cell: dict):
@@ -188,6 +208,16 @@ def run_cell(cell: dict) -> dict:
     :class:`~repro.flitsim.sweep.LoadSweep` plumbing.
     """
     topo, policy, traffic = _build_cell_objects(cell)
+    faults = None
+    if cell.get("faults"):
+        from repro.faults import prepare_fault_policy
+
+        # Built per cell (cheap); the repaired per-epoch tables are
+        # memoized on the topology, so repeated cells share them.  The
+        # policy's hop ceiling must cover every degraded epoch *before*
+        # VC counts are derived below.
+        faults = FAULTS.create(cell["faults"], topo)
+        prepare_fault_policy(policy, faults, topo)
     config = auto_sim_config(
         policy,
         port_budget=cell["port_budget"],
@@ -204,6 +234,7 @@ def run_cell(cell: dict) -> dict:
             config=config,
             max_cycles=cell["max_cycles"],
             seed=cell["seed"],
+            faults=faults,
         )
         stats = {
             "offered_load": cell["load"],
@@ -219,6 +250,8 @@ def run_cell(cell: dict) -> dict:
             "num_packets": int(len(res.packet_latencies)),
         }
         stats.update(res.summary())
+        if faults is not None:
+            stats.update(res.fault.summary())
         return stats
     res = simulate_point(
         topo,
@@ -230,8 +263,9 @@ def run_cell(cell: dict) -> dict:
         measure=cell["measure"],
         drain=cell["drain"],
         seed=cell["seed"],
+        faults=faults,
     )
-    return {
+    stats = {
         "offered_load": res.offered_load,
         "accepted_load": res.accepted_load,
         "avg_latency": res.avg_latency,
@@ -244,6 +278,9 @@ def run_cell(cell: dict) -> dict:
         "ejected_flits": res.ejected_flits,
         "num_packets": int(len(res.latencies)),
     }
+    if faults is not None:
+        stats.update(res.fault.summary())
+    return stats
 
 
 def run_chunk(cells: list) -> list:
@@ -365,14 +402,19 @@ class SweepRunner:
         return self._pool
 
     def _chunks(self, missing: list) -> list:
-        """Topology-affine chunks of ``missing``, deterministically.
+        """Topology-affine, cost-ordered chunks of ``missing``.
 
         Cells are grouped by topology spec (first-seen order) and each
         group is split into pieces of at most ``ceil(missing/workers)``
         cells: a chunk never mixes topologies (one fabric/table build
         per chunk), yet a single big topology still fans out across the
-        whole pool.  Chunking affects only placement — per-cell results
-        are chunk-invariant by the determinism contract.
+        whole pool.  Within each group cells are stable-sorted by
+        *descending offered load* first — high-load cells simulate the
+        most flits per cycle, so scheduling the expensive work first
+        evens out the tail instead of leaving one worker grinding a
+        saturated cell after the pool has drained.  Chunking and
+        ordering affect only placement — per-cell results are
+        chunk-invariant by the determinism contract.
         """
         groups: dict = {}
         for cell in missing:
@@ -380,6 +422,7 @@ class SweepRunner:
         size = max(1, -(-len(missing) // self.max_workers))
         chunks = []
         for group in groups.values():
+            group = sorted(group, key=lambda c: -c["load"])
             for i in range(0, len(group), size):
                 chunks.append(group[i : i + size])
         return chunks

@@ -19,26 +19,36 @@ import hashlib
 import json
 from dataclasses import dataclass, replace
 
-from repro.experiments.registry import POLICIES, TOPOLOGIES, TRAFFICS, WORKLOADS
+from repro.experiments.registry import (
+    FAULTS,
+    POLICIES,
+    TOPOLOGIES,
+    TRAFFICS,
+    WORKLOADS,
+)
 from repro.utils.rng import derive_seed
 
 __all__ = ["Combo", "ExperimentSpec", "cell_hash", "CELL_VERSION"]
 
 #: bump to invalidate cached artifacts when cell semantics change
-#: (3: closed-loop workload cells — workload axis, run-to-completion
-#: windows — joining the v2 synchronous-router-phase protocol)
-CELL_VERSION = 3
+#: (4: dynamic fault-injection cells — optional fault axis; fault-free
+#: cell hashes unchanged.  3: closed-loop workload cells — workload
+#: axis, run-to-completion windows — joining the v2
+#: synchronous-router-phase protocol)
+CELL_VERSION = 4
 
 
 @dataclass(frozen=True)
 class Combo:
     """One curve of a sweep: a (topology, policy, traffic) triple — or,
-    for closed-loop cells, a (topology, policy, workload) triple.
+    for closed-loop cells, a (topology, policy, workload) triple —
+    optionally under a fault timeline.
 
     Spec strings are canonicalized on construction so equal combos
     compare and hash equally however the caller spelled them.  ``label``
     is presentation-only and excluded from cache keys.  Exactly one of
-    ``traffic`` (open loop) and ``workload`` (closed loop) must be set.
+    ``traffic`` (open loop) and ``workload`` (closed loop) must be set;
+    ``faults`` is orthogonal and composes with either.
     """
 
     topology: str
@@ -46,6 +56,7 @@ class Combo:
     traffic: str = ""
     label: str = ""
     workload: str = ""
+    faults: str = ""
 
     def __post_init__(self):
         object.__setattr__(self, "topology", TOPOLOGIES.canonical(self.topology))
@@ -59,12 +70,13 @@ class Combo:
             object.__setattr__(self, "workload", WORKLOADS.canonical(self.workload))
         else:
             object.__setattr__(self, "traffic", TRAFFICS.canonical(self.traffic))
+        if self.faults:
+            object.__setattr__(self, "faults", FAULTS.canonical(self.faults))
         if not self.label:
-            object.__setattr__(
-                self,
-                "label",
-                f"{self.topology}|{self.policy}|{self.workload or self.traffic}",
-            )
+            label = f"{self.topology}|{self.policy}|{self.workload or self.traffic}"
+            if self.faults:
+                label += f"|{self.faults}"
+            object.__setattr__(self, "label", label)
 
 
 @dataclass(frozen=True)
@@ -135,6 +147,26 @@ class ExperimentSpec:
         )
         return cls(combos=combos, loads=loads, **kwargs)
 
+    @classmethod
+    def fault_grid(
+        cls, topologies, policies, traffics, faults, **kwargs
+    ) -> "ExperimentSpec":
+        """Resilience-under-load cross product with a fault axis.
+
+        ``faults`` entries of ``""`` give fault-free control curves in
+        the same spec, so degraded and intact saturation loads come out
+        of one sweep.  (Closed-loop faulted combos are built directly:
+        ``Combo(t, p, workload=w, faults=f)``.)
+        """
+        combos = tuple(
+            Combo(t, p, tr, faults=f)
+            for t in _aslist(topologies)
+            for p in _aslist(policies)
+            for tr in _aslist(traffics)
+            for f in _aslist(faults)
+        )
+        return cls(combos=combos, **kwargs)
+
     def with_(self, **changes) -> "ExperimentSpec":
         """A copy with ``changes`` applied (frozen-dataclass update)."""
         return replace(self, **changes)
@@ -159,13 +191,21 @@ class ExperimentSpec:
             "vc_depth": self.vc_depth,
             "packet_size": int(self.packet_size),
             # The seed axis: workload cells key on the workload spec
-            # (prefixed so a traffic and a workload never collide).
+            # (prefixed so a traffic and a workload never collide), and
+            # faulted cells additionally on the fault spec — fault-free
+            # cells derive exactly the pre-fault-axis seeds.
             "seed": derive_seed(
                 self.root_seed, combo.topology, combo.policy,
                 f"wl:{combo.workload}" if combo.workload else combo.traffic,
                 repr(load),
+                *((f"ft:{combo.faults}",) if combo.faults else ()),
             ),
         }
+        if combo.faults:
+            # Only faulted cells carry the field: fault-free cell keys
+            # (and therefore hashes) are unchanged by the fault axis,
+            # so the v4 version bump refreshes stale artifacts in place.
+            cell["faults"] = combo.faults
         if combo.workload:
             # Only closed-loop cells carry the workload fields: open-loop
             # cell *keys* are unchanged, so the v3 version bump refreshes

@@ -1,0 +1,45 @@
+"""repro.faults — dynamic fault injection for the live simulator.
+
+Turns the paper's static Section IX-B resilience story (remove links,
+recompute graph metrics) into *performance under failure*: deterministic
+seed-derived :class:`FaultTimeline`\\ s of link/router down/up events
+that both simulation engines consume mid-run — masking ports, dropping
+in-flight flits, repairing routing tables incrementally, optionally
+retransmitting lost workload packets — with flat and reference engines
+pinned bit-identical per seed.
+
+Layers:
+
+* :mod:`~repro.faults.timeline` — events, timelines, and the
+  :data:`~repro.experiments.registry.FAULTS` registry generators
+  (``linkflap``, ``mtbf``, ``routerdown``, ``progressive``);
+* :mod:`~repro.faults.state` — :class:`FaultState`, the engine-shared
+  epoch schedule, drop/retransmit accounting, and repaired-table cache;
+* :mod:`~repro.faults.result` — :class:`FaultResult` metrics (drops,
+  blackholes, retransmits, post-event latency transient).
+
+Quickstart::
+
+    from repro.experiments import ExperimentSpec, SweepRunner
+
+    spec = ExperimentSpec.fault_grid(
+        ["polarfly:conc=2,q=7"], ["ugal-pf"], ["uniform"],
+        ["mtbf:count=3,mtbf=300,mttr=250,seed=2,start=150"],
+        loads=(0.3, 0.6),
+    )
+    result = SweepRunner.with_default_cache().run(spec)
+"""
+
+from repro.faults.timeline import FaultEvent, FaultTimeline
+from repro.faults.state import FaultDelta, FaultState, prepare_fault_policy
+from repro.faults.result import FaultResult, build_fault_result
+
+__all__ = [
+    "FaultEvent",
+    "FaultTimeline",
+    "FaultDelta",
+    "FaultState",
+    "FaultResult",
+    "build_fault_result",
+    "prepare_fault_policy",
+]

@@ -46,6 +46,44 @@ golden rule still holds: flat and reference produce bit-identical
 :class:`~repro.workloads.WorkloadResult`\\ s per seed.  Closed-loop runs
 use :meth:`SimulatorCore.run_workload` instead of
 :meth:`SimulatorCore.run`.
+
+**Fault mode**: constructing a simulator with a
+:class:`~repro.faults.FaultTimeline` prepends a *fault phase* to every
+cycle, shared semantics living in :class:`~repro.faults.state.FaultState`:
+
+0. *Events* (cycle start, before injection): on an event cycle the state
+   returns the epoch delta and the engine applies it in canonical order —
+   retable the policy to the epoch's repaired tables, record a
+   latency-sample mark, then per newly dead link (sorted ``(u, v)``, the
+   ``u`` end first): (rule 1) drop every flit queued for the dead output
+   at either end, input ports ascending, each queue front to back,
+   returning the input-side credit (upstream link or injection buffer);
+   (rule 2) drop every flit at the dead link's input port — buffered or
+   still on the wire — outputs ascending with ejection last, *without*
+   credit return (the owning credits are the dead link's own, reset at
+   revival).  Newly dead routers (sorted) then drop any remaining VOQ
+   content (same canonical order) and their endpoints' source FIFOs
+   (endpoint ascending), and their endpoints stop injecting/ejecting.
+   Newly alive links/routers (sorted) restore credits to full depth —
+   exact, because death emptied the downstream buffers.
+1. *Injection*: the Bernoulli draw always covers all endpoints (the RNG
+   stream is failure-independent); winners on dead routers are masked,
+   and packets whose drawn destination router is dead are blackholed
+   (counted, never routed).  Closed-loop: ready messages with a dead
+   endpoint are blackholed whole; the retransmit queue drains *ahead of*
+   new messages, in drop order.
+2. *Feed*: an endpoint head flit whose desired output is dead is dropped
+   (endpoint order) without consuming the injection credit.
+3. *Router phase*: a granted flit whose desired output at the next
+   router is dead evaporates on the wire — the upstream credit is never
+   consumed — in grant order (routers ascending, outputs ascending with
+   ejection last, round-robin rank).  A packet whose tail flit drops is
+   lost (counted; in workload mode with ``retransmit`` it re-enters the
+   source's queue next cycle with a freshly selected route).
+
+The golden rule extends: flat and reference engines produce bit-identical
+results per seed for every fault timeline, including drop counts,
+retransmit order, and post-repair routes.
 """
 
 from __future__ import annotations
@@ -59,6 +97,7 @@ __all__ = [
     "SimConfig",
     "SimResult",
     "SimulatorCore",
+    "make_fault_state",
     "EJECT",
     "ENGINE_ENV",
     "DEFAULT_ENGINE",
@@ -188,6 +227,23 @@ def make_workload_state(workload, config: SimConfig, topo):
     return WorkloadState(workload, config.packet_size, topo)
 
 
+def make_fault_state(faults, topo, policy):
+    """Attach-time construction of the shared fault bookkeeping.
+
+    ``None`` passes through.  Construction compiles the timeline into
+    epochs, builds every repaired routing table (raising immediately if
+    survivors ever disconnect), and ratchets ``policy.max_hops`` to the
+    across-epoch ceiling — so call this *before* validating VC counts or
+    sizing route buffers.  Imported lazily: the faults package sits
+    above the engine layer.
+    """
+    if faults is None:
+        return None
+    from repro.faults.state import FaultState
+
+    return FaultState(faults, topo, policy)
+
+
 class SimulatorCore:
     """Run-loop and congestion-view surface shared by both engines.
 
@@ -197,6 +253,10 @@ class SimulatorCore:
 
     #: closed-loop workload state; engine constructors set per instance
     _wl = None
+    #: dynamic fault state; engine constructors set per instance
+    _fault = None
+    #: fault accounting of the last run (None without a timeline)
+    fault_result = None
 
     def output_capacity(self) -> int:
         """Normalization for threshold-style adaptive decisions."""
@@ -211,6 +271,8 @@ class SimulatorCore:
             raise RuntimeError(
                 "this simulator drives a workload; use run_workload()"
             )
+        if self._fault is not None:
+            self._fault.begin_run(self.policy)
         for _ in range(warmup):
             self.step()
         self._measuring = True
@@ -225,6 +287,8 @@ class SimulatorCore:
                 self.step()
             self.load = saved_load
         self.result = self._stat.finalize()
+        if self._fault is not None:
+            self.fault_result = self._fault.build_result(self._stat)
         return self._stat
 
     def run_workload(self, max_cycles: int = 200_000):
@@ -243,6 +307,8 @@ class SimulatorCore:
             )
         from repro.workloads.result import build_workload_result
 
+        if self._fault is not None:
+            self._fault.begin_run(self.policy)
         self._measuring = True
         state = self._wl
         while not state.done and self.now < max_cycles:
@@ -250,6 +316,8 @@ class SimulatorCore:
         self._stat.cycles = self.now
         self._measuring = False
         self._stat.finalize()
+        if self._fault is not None:
+            self.fault_result = self._fault.build_result(self._stat)
         self.workload_result = build_workload_result(state, self._stat, self.topo)
         return self.workload_result
 
@@ -276,6 +344,7 @@ def make_simulator(
     seed=0,
     engine: "str | None" = None,
     workload=None,
+    faults=None,
 ):
     """Construct a simulator for one cell with the selected engine.
 
@@ -285,6 +354,10 @@ def make_simulator(
     :class:`~repro.workloads.Workload` switches the simulator to the
     closed-loop protocol (``traffic`` may then be ``None`` and ``load``
     is ignored — drive it with :meth:`SimulatorCore.run_workload`).
+    Passing a :class:`~repro.faults.FaultTimeline` as ``faults`` enables
+    in-simulation failures with deterministic route repair (composes
+    with either mode); VC counts must cover the *degraded* worst case —
+    ``prepare_fault_policy`` + ``auto_sim_config`` handle the sizing.
     """
     name = engine or os.environ.get(ENGINE_ENV, DEFAULT_ENGINE)
     classes = _engine_classes()
@@ -296,5 +369,6 @@ def make_simulator(
     if config is None:
         config = SimConfig()
     return classes[name](
-        topo, policy, traffic, load, config=config, seed=seed, workload=workload
+        topo, policy, traffic, load, config=config, seed=seed,
+        workload=workload, faults=faults,
     )

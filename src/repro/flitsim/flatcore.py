@@ -45,6 +45,7 @@ from repro.flitsim.engine import (
     SimConfig,
     SimResult,
     SimulatorCore,
+    make_fault_state,
     make_workload_state,
     validate_sim_args,
 )
@@ -151,14 +152,18 @@ class FlatSimulator(SimulatorCore):
         config: SimConfig = SimConfig(),
         seed=0,
         workload=None,
+        faults=None,
     ):
-        validate_sim_args(topo, policy, load, config)
         self.topo = topo
         self.policy = policy
         self.traffic = traffic
         self.load = float(load)
         self.config = config
         self.rng = make_rng(seed)
+        # Fault bookkeeping first: it ratchets policy.max_hops to the
+        # degraded ceiling, which sizes the route stride and VC check.
+        self._fault = make_fault_state(faults, topo, policy)
+        validate_sim_args(topo, policy, load, config)
         self._wl = make_workload_state(workload, config, topo)
 
         fab = fabric_for(topo)
@@ -231,11 +236,23 @@ class FlatSimulator(SimulatorCore):
         self._measuring = False
         self._stat = SimResult(load, 0, fab.E)
 
+        # Fault-mode state: per-(router, output-column) death mask and
+        # outstanding-flit counts per packet slot (drops can retire a
+        # packet out of tail order, so slot recycling counts flits).
+        if self._fault is not None:
+            self.dead_row = np.zeros(n * O, dtype=bool)
+            self.pkt_live = np.zeros(self.pkt_cap, dtype=np.int64)
+            self.pkt_damaged = np.zeros(self.pkt_cap, dtype=bool)
+
         # Optional C cycle kernel (same protocol, same arrays); falls
-        # back to the pure-numpy phases when unavailable.  Workload mode
-        # always takes the numpy cycle path: the kernel knows nothing of
-        # message dependencies, and the C source stays untouched.
-        self._kernel = None if self._wl is not None else load_kernel()
+        # back to the pure-numpy phases when unavailable.  Workload and
+        # fault modes always take the numpy cycle path: the kernel knows
+        # nothing of message dependencies or dead ports, and the C
+        # source stays untouched.
+        self._kernel = (
+            None if (self._wl is not None or self._fault is not None)
+            else load_kernel()
+        )
         if self._kernel is not None:
             ffi = self._kernel.ffi
             grant_cap = n * O + fab.E
@@ -381,6 +398,13 @@ class FlatSimulator(SimulatorCore):
         measured = np.zeros(cap, dtype=bool)
         measured[:old] = self.pkt_measured
         self.pkt_measured = measured
+        if self._fault is not None:
+            live = np.zeros(cap, dtype=np.int64)
+            live[:old] = self.pkt_live
+            self.pkt_live = live
+            damaged = np.zeros(cap, dtype=bool)
+            damaged[:old] = self.pkt_damaged
+            self.pkt_damaged = damaged
         route_buf = np.zeros(cap * stride, dtype=np.int64)
         route_buf[: old * stride] = self.route_buf
         self.route_buf = route_buf
@@ -433,6 +457,9 @@ class FlatSimulator(SimulatorCore):
         self.pkt_t_created[slots] = self.now
         if pkt_mid is not None:
             self.pkt_msg[slots] = pkt_mid
+        if self._fault is not None:
+            self.pkt_live[slots] = self.config.packet_size
+            self.pkt_damaged[slots] = False
         self.pkt_measured[slots] = self._measuring
         self.packets_injected += k
         if self._measuring:
@@ -466,8 +493,22 @@ class FlatSimulator(SimulatorCore):
         winners = np.flatnonzero(rng.random(fab.E) < prob)
         if winners.size == 0:
             return
+        ft = self._fault
+        if ft is not None and ft.any_dead_router:
+            # The Bernoulli draw above always covers every endpoint (the
+            # stream is failure-independent); dead ones just can't win.
+            winners = winners[ft.ep_alive[winners]]
+            if winners.size == 0:
+                return
         srcs = fab.ep_router[winners]
         dsts = self.traffic.dest_routers(srcs, rng)
+        if ft is not None and ft.any_dead_router:
+            keep = ft.router_alive[dsts]
+            if not keep.all():
+                ft.note_blackholed(int((~keep).sum()))
+                winners, srcs, dsts = winners[keep], srcs[keep], dsts[keep]
+                if winners.size == 0:
+                    return
         slots, k = self._fill_packet_slots(srcs, dsts)
 
         if self._kernel is not None:
@@ -505,11 +546,22 @@ class FlatSimulator(SimulatorCore):
         never produces.
         """
         st = self._wl
+        ft = self._fault
         mids = st.pop_ready()
-        if mids.size == 0:
+        if ft is not None:
+            if ft.any_dead_router and mids.size:
+                mids = ft.filter_messages(
+                    mids, st.workload.src[mids], st.workload.dst[mids],
+                    st.msg_pkts[mids],
+                )
+            # Lost packets re-enter ahead of new messages, in drop order.
+            rt = ft.pop_retransmits(st.workload)
+            pkt_mid = np.concatenate([rt, np.repeat(mids, st.msg_pkts[mids])])
+        else:
+            pkt_mid = np.repeat(mids, st.msg_pkts[mids])
+        if pkt_mid.size == 0:
             return
         fab = self.fab
-        pkt_mid = np.repeat(mids, st.msg_pkts[mids])
         srcs = st.workload.src[pkt_mid]
         dsts = st.workload.dst[pkt_mid]
         slots, k = self._fill_packet_slots(srcs, dsts, pkt_mid=pkt_mid)
@@ -543,6 +595,9 @@ class FlatSimulator(SimulatorCore):
     # Feed (protocol step 2)
     # ------------------------------------------------------------------
     def _feed(self) -> None:
+        if self._fault is not None:
+            self._feed_with_faults()
+            return
         ids = np.flatnonzero((self.src_head >= 0) & (self.ep_credit > 0))
         if ids.size == 0:
             return
@@ -561,6 +616,48 @@ class FlatSimulator(SimulatorCore):
         ]
         vq = (routers * fab.I + fab.ep_inport[ids]) * fab.O + out
         self._enqueue(vq, flits, routers, out)
+
+    def _feed_with_faults(self) -> None:
+        """Feed phase when a timeline is attached.
+
+        A head flit whose first hop is dead drops without consuming the
+        injection credit (it never enters the buffer), spending the
+        endpoint's one-flit-per-cycle feed slot; live heads feed as
+        usual.  Drop order is ascending endpoint id — the reference
+        engine's iteration order.
+        """
+        fab = self.fab
+        cand = np.flatnonzero(self.src_head >= 0)
+        if cand.size == 0:
+            return
+        flits = self.src_head[cand]
+        pid = self.pool_pid[flits]
+        routers = fab.ep_router[cand]
+        out = np.full(cand.size, fab.OE, dtype=np.int64)
+        multi = self.pkt_len[pid] > 1
+        out[multi] = fab.port_mat[
+            routers[multi], self.route_buf[pid[multi] * self.route_stride + 1]
+        ]
+        doomed = self.dead_row[routers * fab.O + out]
+        move = doomed | (self.ep_credit[cand] > 0)
+        if not move.any():
+            return
+        ids = cand[move]
+        mflits = flits[move]
+        nxt = self.pool_next[mflits]
+        self.src_head[ids] = nxt
+        self.src_tail[ids[nxt < 0]] = -1
+        dr = np.flatnonzero(doomed[move])
+        if dr.size:
+            self._drop_flit_rows(mflits[dr], pid[move][dr])
+        fd = np.flatnonzero(~doomed[move])
+        if fd.size:
+            ids_f = ids[fd]
+            self.ep_credit[ids_f] -= 1
+            routers_f = routers[move][fd]
+            out_f = out[move][fd]
+            vq = (routers_f * fab.I + fab.ep_inport[ids_f]) * fab.O + out_f
+            self._enqueue(vq, mflits[fd], routers_f, out_f)
 
     # ------------------------------------------------------------------
     # Queue plumbing
@@ -669,12 +766,9 @@ class FlatSimulator(SimulatorCore):
             fl = flit[fwd]
             r_f, out_f = r_w[fwd], out_w[fwd]
             hop_f = hop_w[fwd]
-            np.add.at(self.credits, (r_f, out_f, np.minimum(hop_f, V - 1)), -1)
             nxt_r = fab.nbr_mat[r_f, out_f]
             in_next = fab.rev_mat[r_f, out_f]
             hop2 = hop_f + 1
-            self.pool_hop[fl] = hop2
-            self.pool_ready[fl] = now + self._hop_latency
             pid_f = pid_w[fwd]
             pos = off_w[fwd] + np.minimum(hop2 + 1, self.pkt_len[pid_f] - 1)
             out_next = np.where(
@@ -682,7 +776,27 @@ class FlatSimulator(SimulatorCore):
                 OE,
                 fab.port_mat[nxt_r, self.route_buf[pos]],
             )
-            self._enqueue((nxt_r * I + in_next) * O + out_next, fl, nxt_r, out_next)
+            if self._fault is not None:
+                doomed = self.dead_row[nxt_r * O + out_next]
+                if doomed.any():
+                    # Dead output at the next router: drop on the wire,
+                    # in grant order, without consuming the credit.
+                    d = np.flatnonzero(doomed)
+                    self._drop_flit_rows(fl[d], pid_f[d])
+                    keep = np.flatnonzero(~doomed)
+                    fl, r_f, out_f = fl[keep], r_f[keep], out_f[keep]
+                    hop_f, hop2 = hop_f[keep], hop2[keep]
+                    nxt_r, in_next = nxt_r[keep], in_next[keep]
+                    out_next = out_next[keep]
+            if fl.size:
+                np.add.at(
+                    self.credits, (r_f, out_f, np.minimum(hop_f, V - 1)), -1
+                )
+                self.pool_hop[fl] = hop2
+                self.pool_ready[fl] = now + self._hop_latency
+                self._enqueue(
+                    (nxt_r * I + in_next) * O + out_next, fl, nxt_r, out_next
+                )
 
         # Eject the rest (already in recording order); tail flits
         # complete their packet.
@@ -700,20 +814,133 @@ class FlatSimulator(SimulatorCore):
                 )
                 self._stat.hop_counts.extend((self.pkt_len[measured] - 1).tolist())
             self._release(fe)
-            if done.size:
-                if self._wl is not None:
-                    # Closed loop: report completed packets' messages
-                    # and their wire flit-hops before recycling slots.
-                    self._wl.note_tails(
-                        self.pkt_msg[done],
-                        int((self.pkt_len[done] - 1).sum())
-                        * self.config.packet_size,
-                    )
+            if done.size and self._wl is not None:
+                # Closed loop: report completed packets' messages and
+                # their wire flit-hops before recycling slots.
+                self._wl.note_tails(
+                    self.pkt_msg[done],
+                    int((self.pkt_len[done] - 1).sum())
+                    * self.config.packet_size,
+                )
+            if self._fault is not None:
+                # A tail that ejects from a damaged packet means body
+                # flits were lost to a since-revived link: delivered,
+                # but incomplete.
+                dmg = int(self.pkt_damaged[done].sum())
+                if dmg:
+                    self._fault.note_damaged_deliveries(dmg)
+                # Drops can retire a packet out of tail order, so slot
+                # recycling counts outstanding flits instead.
+                self._retire_packets(pid_w[ejs])
+            elif done.size:
                 # The tail flit is the last of its packet out of the
                 # network: recycle the packet slot.
                 top = int(self._pslot_top[0])
                 self._pslot_stack[top : top + done.size] = done
                 self._pslot_top[0] = top + done.size
+
+    # ------------------------------------------------------------------
+    # Fault phase (protocol step 0): masks, drops, and route repair
+    # ------------------------------------------------------------------
+    def _drop_flit_rows(self, rows: np.ndarray, pids: np.ndarray) -> None:
+        """Account and release dropped flit rows (array order = drop order)."""
+        ft = self._fault
+        ft.note_flit_drops(rows.size)
+        self.pkt_damaged[pids] = True
+        tails = self.pool_seq[rows] == self.config.packet_size - 1
+        if tails.any():
+            ft.note_tail_drops(self.pkt_msg[pids[tails]])
+        self._release(rows)
+        self._retire_packets(pids)
+
+    def _retire_packets(self, pids: np.ndarray) -> None:
+        """Decrement outstanding-flit counts; recycle exhausted slots."""
+        np.subtract.at(self.pkt_live, pids, 1)
+        u = np.unique(pids)
+        done = u[self.pkt_live[u] == 0]
+        if done.size:
+            top = int(self._pslot_top[0])
+            self._pslot_stack[top : top + done.size] = done
+            self._pslot_top[0] = top + done.size
+
+    def _drop_vq(self, r: int, in_port: int, out: int, return_credit: bool) -> None:
+        """Drop one VOQ wholesale, front to back (event-time drops).
+
+        Same rule-1/rule-2 credit semantics as the reference engine's
+        ``_drop_queue`` — the canonical order both engines share.
+        """
+        fab = self.fab
+        vq = (r * fab.I + in_port) * fab.O + out
+        f = int(self.voq_head[vq])
+        if f < 0:
+            return
+        chain = []
+        while f >= 0:
+            chain.append(f)
+            f = int(self.pool_next[f])
+        rows = np.asarray(chain, dtype=np.int64)
+        self.voq_head[vq] = -1
+        self.voq_tail[vq] = -1
+        self.voq_count[vq] = 0
+        self.backlog[r * fab.O + out] -= rows.size
+        if return_credit:
+            deg = int(fab.deg[r])
+            if in_port < deg:
+                upstream = int(fab.nbr_mat[r, in_port])
+                up_port = int(fab.port_mat[upstream, r])
+                vcs = np.minimum(
+                    self.pool_hop[rows] - 1, self.config.num_vcs - 1
+                )
+                np.add.at(self.credits, (upstream, up_port, vcs), 1)
+            else:
+                self.ep_credit[int(fab.ep_off[r]) + in_port - deg] += rows.size
+        self._drop_flit_rows(rows, self.pool_pid[rows])
+
+    def _apply_fault_delta(self, delta) -> None:
+        """Apply one epoch transition in the canonical order."""
+        fab = self.fab
+        depth = self.config.vc_depth
+        self.policy.retable(delta.tables)
+        self._fault.note_mark(self.now, len(self._stat.latencies))
+        for u, v in delta.down_links:
+            for r, nbr in ((u, v), (v, u)):
+                p = int(fab.port_mat[r, nbr])
+                # Rule 1: nothing may travel toward the dead link.
+                for in_port in range(int(fab.P_arr[r])):
+                    self._drop_vq(r, in_port, p, return_credit=True)
+                # Rule 2: the link's wire and input buffer are lost.
+                for out in list(range(int(fab.deg[r]))) + [fab.OE]:
+                    self._drop_vq(r, p, out, return_credit=False)
+                self.dead_row[r * fab.O + p] = True
+        for r in delta.down_routers:
+            # Incident links died above; drop the residue (injection
+            # inputs) and the endpoints' source FIFOs.
+            for in_port in range(int(fab.P_arr[r])):
+                for out in list(range(int(fab.deg[r]))) + [fab.OE]:
+                    self._drop_vq(r, in_port, out, return_credit=False)
+            for e in range(int(fab.ep_off[r]), int(fab.ep_off[r + 1])):
+                f = int(self.src_head[e])
+                if f < 0:
+                    continue
+                chain = []
+                while f >= 0:
+                    chain.append(f)
+                    f = int(self.pool_next[f])
+                rows = np.asarray(chain, dtype=np.int64)
+                self.src_head[e] = -1
+                self.src_tail[e] = -1
+                self._drop_flit_rows(rows, self.pool_pid[rows])
+            self.dead_row[r * fab.O + fab.OE] = True
+        for u, v in delta.up_links:
+            for r, nbr in ((u, v), (v, u)):
+                p = int(fab.port_mat[r, nbr])
+                # Death emptied the downstream input buffer, so full
+                # depth is exact — credit conservation holds.
+                self.credits[r, p, :] = depth
+                self.dead_row[r * fab.O + p] = False
+        for r in delta.up_routers:
+            self.ep_credit[int(fab.ep_off[r]) : int(fab.ep_off[r + 1])] = depth
+            self.dead_row[r * fab.O + fab.OE] = False
 
     def _kernel_cycle(self) -> None:
         """Feed + route phase in one C pass (same protocol, same arrays)."""
@@ -734,6 +961,10 @@ class FlatSimulator(SimulatorCore):
 
     def step(self) -> None:
         """Advance the simulation by one cycle."""
+        if self._fault is not None:
+            delta = self._fault.advance(self.now)
+            if delta is not None:
+                self._apply_fault_delta(delta)
         if self._wl is not None:
             self._inject_workload()
             self._feed()

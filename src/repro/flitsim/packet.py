@@ -29,7 +29,10 @@ class Packet:
         Cycle at which the tail flit left the network (-1 while in flight).
     """
 
-    __slots__ = ("pid", "route", "size", "t_created", "t_ejected", "measured", "mid")
+    __slots__ = (
+        "pid", "route", "size", "t_created", "t_ejected", "measured", "mid",
+        "damaged",
+    )
 
     def __init__(self, pid: int, route: tuple[int, ...], size: int, t_created: int):
         self.pid = pid
@@ -41,6 +44,8 @@ class Packet:
         self.measured = False
         #: owning workload message id (-1 for open-loop traffic)
         self.mid = -1
+        #: whether a fault dropped any flit of this packet (fault mode)
+        self.damaged = False
 
     @property
     def src(self) -> int:

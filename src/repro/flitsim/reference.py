@@ -39,6 +39,7 @@ from repro.flitsim.engine import (
     SimConfig,
     SimResult,
     SimulatorCore,
+    make_fault_state,
     make_workload_state,
     validate_sim_args,
 )
@@ -67,14 +68,18 @@ class NetworkSimulator(SimulatorCore):
         config: SimConfig = SimConfig(),
         seed=0,
         workload=None,
+        faults=None,
     ):
-        validate_sim_args(topo, policy, load, config)
         self.topo = topo
         self.policy = policy
         self.traffic = traffic
         self.load = float(load)
         self.config = config
         self.rng = make_rng(seed)
+        # Fault bookkeeping first: it ratchets policy.max_hops to the
+        # degraded ceiling, which the VC validation below checks against.
+        self._fault = make_fault_state(faults, topo, policy)
+        validate_sim_args(topo, policy, load, config)
         # Closed-loop bookkeeping (None in open-loop Bernoulli mode);
         # this cycle's ejected-tail message ids and their flit-hops.
         self._wl = make_workload_state(workload, config, topo)
@@ -126,6 +131,9 @@ class NetworkSimulator(SimulatorCore):
         # Round-robin pointers per (router, out_port): the input port the
         # next scan starts from.
         self.rr: list[dict] = [dict() for _ in range(n)]
+        # Dead output ports per router (EJECT joins when the router is
+        # down); maintained by _apply_fault_delta, empty without faults.
+        self.dead_out: list[set] = [set() for _ in range(n)]
         # Routers that may have movable flits / non-empty source FIFOs.
         self.active: set[int] = set()
         self.src_active: set[int] = set()
@@ -179,8 +187,22 @@ class NetworkSimulator(SimulatorCore):
         winners = np.flatnonzero(rng.random(topo.num_endpoints) < prob)
         if winners.size == 0:
             return
+        ft = self._fault
+        if ft is not None and ft.any_dead_router:
+            # The Bernoulli draw above always covers every endpoint (the
+            # stream is failure-independent); dead ones just can't win.
+            winners = winners[ft.ep_alive[winners]]
+            if winners.size == 0:
+                return
         srcs = topo.endpoint_routers[winners]
         dsts = self.traffic.dest_routers(srcs, rng)
+        if ft is not None and ft.any_dead_router:
+            keep = ft.router_alive[dsts]
+            if not keep.all():
+                ft.note_blackholed(int((~keep).sum()))
+                winners, srcs, dsts = winners[keep], srcs[keep], dsts[keep]
+                if winners.size == 0:
+                    return
         routes = self.policy.select_routes(srcs, dsts, rng, congestion=self)
         offsets = topo.endpoint_offsets
         for endpoint, src, route in zip(winners, srcs, iter_routes(routes)):
@@ -205,12 +227,23 @@ class NetworkSimulator(SimulatorCore):
         endpoint at the message's source router.
         """
         st = self._wl
+        ft = self._fault
         mids = st.pop_ready()
-        if mids.size == 0:
+        if ft is not None:
+            if ft.any_dead_router and mids.size:
+                mids = ft.filter_messages(
+                    mids, st.workload.src[mids], st.workload.dst[mids],
+                    st.msg_pkts[mids],
+                )
+            # Lost packets re-enter ahead of new messages, in drop order.
+            rt = ft.pop_retransmits(st.workload)
+            pkt_mid = np.concatenate([rt, np.repeat(mids, st.msg_pkts[mids])])
+        else:
+            pkt_mid = np.repeat(mids, st.msg_pkts[mids])
+        if pkt_mid.size == 0:
             return
         cfg = self.config
         ps = cfg.packet_size
-        pkt_mid = np.repeat(mids, st.msg_pkts[mids])
         srcs = st.workload.src[pkt_mid]
         dsts = st.workload.dst[pkt_mid]
         routes = self.policy.select_routes(srcs, dsts, self.rng, congestion=self)
@@ -234,6 +267,7 @@ class NetworkSimulator(SimulatorCore):
         subject to injection-buffer credits.
         """
         done: list[int] = []
+        fault = self._fault is not None
         for r in sorted(self.src_active):
             any_left = False
             deg = len(self.nbrs[r])
@@ -241,6 +275,16 @@ class NetworkSimulator(SimulatorCore):
             for e, q in enumerate(self.src_q[r]):
                 if not q:
                     continue
+                if fault:
+                    out, _vc = self._desired_output(r, q[0])
+                    if out in self.dead_out[r]:
+                        # Dead first hop: the flit drops before entering
+                        # the injection buffer — no credit is consumed,
+                        # and the endpoint's feed slot is spent.
+                        self._record_drop(q.popleft())
+                        if q:
+                            any_left = True
+                        continue
                 if credits[e] > 0:
                     credits[e] -= 1
                     self._enqueue_voq(r, deg + e, q.popleft())
@@ -274,6 +318,80 @@ class NetworkSimulator(SimulatorCore):
         if out != EJECT:
             self.out_backlog[r][out] += 1
         self.active.add(r)
+
+    # ------------------------------------------------------------------
+    # Fault phase (protocol step 0): masks, drops, and route repair
+    # ------------------------------------------------------------------
+    def _record_drop(self, flit) -> None:
+        """Account one dropped flit (tail flits lose their packet)."""
+        pkt, seq, _hop, _ready = flit
+        pkt.damaged = True
+        self._fault.note_flit_drops(1)
+        if seq == self.config.packet_size - 1:
+            self._fault.note_tail_drop(pkt.mid)
+
+    def _drop_queue(self, r: int, in_port: int, out: int, return_credit: bool) -> None:
+        """Drop one VOQ wholesale, front to back (event-time drops).
+
+        ``return_credit`` distinguishes rule 1 (flits queued *for* a dead
+        output: their input-side slot credit goes back upstream) from
+        rule 2 (flits *at* a dead link's input: the owning credits are
+        the dead link's own and reset at revival).
+        """
+        key = (in_port, out)
+        q = self.voq[r].pop(key, None)
+        if not q:
+            if q is not None:  # pragma: no cover - defensive
+                self.voq[r][key] = q
+            return
+        for flit in q:
+            if return_credit:
+                self._return_credit(r, key, flit)
+            self._record_drop(flit)
+        if out != EJECT:
+            self.out_backlog[r][out] -= len(q)
+        keys = self.by_out[r].get(out)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self.by_out[r][out]
+
+    def _apply_fault_delta(self, delta) -> None:
+        """Apply one epoch transition in the canonical order."""
+        cfg = self.config
+        self.policy.retable(delta.tables)
+        self._fault.note_mark(self.now, len(self._stat.latencies))
+        for u, v in delta.down_links:
+            for r, nbr in ((u, v), (v, u)):
+                p = self.port_of[r][nbr]
+                # Rule 1: nothing may travel toward the dead link.
+                for in_port in range(self.num_in_ports[r]):
+                    self._drop_queue(r, in_port, p, return_credit=True)
+                # Rule 2: the link's wire and input buffer are lost.
+                for out in list(range(len(self.nbrs[r]))) + [EJECT]:
+                    self._drop_queue(r, p, out, return_credit=False)
+                self.dead_out[r].add(p)
+        for r in delta.down_routers:
+            # Incident links died above; drop the residue (injection
+            # inputs) and the endpoints' source FIFOs.
+            for in_port in range(self.num_in_ports[r]):
+                for out in list(range(len(self.nbrs[r]))) + [EJECT]:
+                    self._drop_queue(r, in_port, out, return_credit=False)
+            for q in self.src_q[r]:
+                while q:
+                    self._record_drop(q.popleft())
+            self.src_active.discard(r)
+            self.dead_out[r].add(EJECT)
+        for u, v in delta.up_links:
+            for r, nbr in ((u, v), (v, u)):
+                p = self.port_of[r][nbr]
+                # Death emptied the downstream input buffer, so full
+                # depth is exact — credit conservation holds.
+                self.credits[r][p] = [cfg.vc_depth] * cfg.num_vcs
+                self.dead_out[r].discard(p)
+        for r in delta.up_routers:
+            self.inj_credit[r] = [cfg.vc_depth] * len(self.inj_credit[r])
+            self.dead_out[r].discard(EJECT)
 
     # ------------------------------------------------------------------
     # Router phase: decide every grant from cycle-start state, then apply
@@ -354,6 +472,10 @@ class NetworkSimulator(SimulatorCore):
         if out == EJECT:
             if seq == cfg.packet_size - 1:
                 pkt.t_ejected = self.now
+                if pkt.damaged:
+                    # A mid-packet link revival let the tail through
+                    # after body flits were lost: delivered, incomplete.
+                    self._fault.note_damaged_deliveries(1)
                 if pkt.measured:
                     # Count even if completion lands in the drain phase —
                     # avoids survivor bias near saturation.
@@ -368,11 +490,23 @@ class NetworkSimulator(SimulatorCore):
         nxt = int(self.nbrs[r][out])
         in_port = self.rev_port[r][out]
         ready = self.now + cfg.link_latency + cfg.router_pipeline
+        nxt_flit = (pkt, seq, hop_idx + 1, ready)
+        if self._fault is not None:
+            nxt_out, _vc = self._desired_output(nxt, nxt_flit)
+            if nxt_out in self.dead_out[nxt]:
+                # Dead output at the next router: the flit evaporates on
+                # the wire — the credit toward nxt is never consumed.
+                self._record_drop(nxt_flit)
+                return
         self.credits[r][out][dvc] -= 1
-        self._enqueue_voq(nxt, in_port, (pkt, seq, hop_idx + 1, ready))
+        self._enqueue_voq(nxt, in_port, nxt_flit)
 
     def step(self) -> None:
         """Advance the simulation by one cycle."""
+        if self._fault is not None:
+            delta = self._fault.advance(self.now)
+            if delta is not None:
+                self._apply_fault_delta(delta)
         if self._wl is not None:
             self._inject_workload()
         else:

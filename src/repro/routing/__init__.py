@@ -19,7 +19,11 @@ from repro.routing.policies import (
     ZERO_CONGESTION,
 )
 from repro.routing.algebraic import AlgebraicMinimalRouting
-from repro.routing.degraded import degraded_topology, reroute_after_failures
+from repro.routing.degraded import (
+    degraded_topology,
+    fault_epoch_tables,
+    reroute_after_failures,
+)
 from repro.routing.paths import (
     enumerate_paths,
     count_paths_of_length,
@@ -31,6 +35,7 @@ __all__ = [
     "UGALGRouting",
     "AlgebraicMinimalRouting",
     "degraded_topology",
+    "fault_epoch_tables",
     "reroute_after_failures",
     "CongestionView",
     "RoutingPolicy",

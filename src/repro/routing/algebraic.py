@@ -45,6 +45,12 @@ class AlgebraicMinimalRouting(RoutingPolicy):
         self.topo = pf
         self.tables = None
 
+    def retable(self, tables) -> None:
+        raise NotImplementedError(
+            "dynamic fault repair is not supported for table-free "
+            "algebraic routing (routes derive from intact coordinates)"
+        )
+
     def select_route(self, src: int, dst: int, rng, congestion=ZERO_CONGESTION):
         """The unique minimal route, via one dot and one cross product."""
         return self.pf.minimal_path(src, dst)

@@ -151,6 +151,19 @@ class RoutingPolicy:
         self.tables = tables
         self.topo = tables.topo
 
+    def retable(self, tables: RoutingTables) -> None:
+        """Repoint at repaired tables (the dynamic fault-repair hook).
+
+        Swaps tables *and* topology view (so neighbor draws see the
+        degraded graph) and lets :attr:`max_hops` only **ratchet up**:
+        VC budgets and route buffers are sized once at simulator
+        construction and must stay valid across every fault epoch.  The
+        fault subsystem pre-walks all epoch tables through here before
+        the run so the ceiling is known up front.
+        """
+        self.tables = tables
+        self.topo = tables.topo
+
     def select_route(
         self, src: int, dst: int, rng, congestion: CongestionView = ZERO_CONGESTION
     ) -> list[int]:
@@ -189,6 +202,10 @@ class MinimalRouting(RoutingPolicy):
         super().__init__(tables)
         self.max_hops = int(tables.dist.max())
 
+    def retable(self, tables: RoutingTables) -> None:
+        super().retable(tables)
+        self.max_hops = max(self.max_hops, int(tables.dist.max()))
+
     def select_route(self, src, dst, rng, congestion=ZERO_CONGESTION):
         return self._sp(src, dst, rng)
 
@@ -203,19 +220,34 @@ class ValiantRouting(RoutingPolicy):
         super().__init__(tables)
         self.max_hops = 2 * int(tables.dist.max())
 
+    def retable(self, tables: RoutingTables) -> None:
+        RoutingPolicy.retable(self, tables)
+        self.max_hops = max(self.max_hops, 2 * int(tables.dist.max()))
+
     def random_intermediate(self, src: int, dst: int, rng) -> int:
         n = self.topo.num_routers
+        alive = self.tables.alive_routers
         while True:
             r = int(rng.integers(n))
-            if r != src and r != dst:
+            if r != src and r != dst and (alive is None or alive[r]):
                 return r
 
     def random_intermediates(self, srcs, dsts, rng) -> np.ndarray:
-        """Batched intermediates: draw all, redraw collisions until clean."""
+        """Batched intermediates: draw all, redraw collisions until clean.
+
+        On fault-epoch tables, dead routers (``alive_routers`` False)
+        are redrawn too — the detour must stay on the surviving fabric.
+        The redraw loop consumes the RNG identically when every router
+        is alive, so fault-free streams are unchanged.
+        """
         n = self.topo.num_routers
+        alive = self.tables.alive_routers
         mids = rng.integers(n, size=srcs.size)
         while True:
-            bad = np.flatnonzero((mids == srcs) | (mids == dsts))
+            bad = (mids == srcs) | (mids == dsts)
+            if alive is not None:
+                bad |= ~alive[mids]
+            bad = np.flatnonzero(bad)
             if bad.size == 0:
                 return mids
             mids[bad] = rng.integers(n, size=bad.size)
@@ -319,6 +351,11 @@ class UGALRouting(RoutingPolicy):
         self.bias = bias
         self.max_hops = self.valiant.max_hops
 
+    def retable(self, tables: RoutingTables) -> None:
+        RoutingPolicy.retable(self, tables)
+        self.valiant.retable(tables)
+        self.max_hops = max(self.max_hops, self.valiant.max_hops)
+
     def _valiant_candidate(self, src, dst, rng):
         return self.valiant.select_route(src, dst, rng)
 
@@ -405,6 +442,11 @@ class UGALPFRouting(UGALRouting):
         self.threshold = float(threshold)
         self.max_hops = self.compact.max_hops
 
+    def retable(self, tables: RoutingTables) -> None:
+        super().retable(tables)
+        self.compact.retable(tables)
+        self.max_hops = max(self.max_hops, self.compact.max_hops)
+
     def _valiant_candidate(self, src, dst, rng):
         return self.compact.select_route(src, dst, rng)
 
@@ -461,6 +503,11 @@ class FatTreeNCARouting(RoutingPolicy):
         super().__init__(tables)
         self.ft: FatTree = tables.topo
         self.max_hops = 2 * (self.ft.n_levels - 1)
+
+    def retable(self, tables: RoutingTables) -> None:
+        raise NotImplementedError(
+            "dynamic fault repair is not supported for FT-NCA routing"
+        )
 
     def select_route(self, src, dst, rng, congestion=ZERO_CONGESTION):
         ft = self.ft

@@ -49,19 +49,63 @@ class RoutingTables:
     ----------
     topo:
         Any :class:`~repro.topologies.base.Topology`; the router graph
-        must be connected.
+        must be connected (unless ``alive`` marks failed routers).
     path_cache:
         ``True``/``False`` forces the dense unique-path cache on or off;
         ``None`` (default) defers to ``$REPRO_PATH_CACHE`` and the
         ``$REPRO_PATH_CACHE_MB`` memory cap.
+    alive:
+        Optional boolean mask of surviving routers for fault-epoch
+        tables.  Dead routers stay in the vertex set with -1 distances;
+        only the alive-alive block must be connected.  Policies consult
+        :attr:`alive_routers` (e.g. Valiant intermediate draws) and the
+        fault subsystem guarantees no route ever targets a dead router.
     """
 
-    def __init__(self, topo: Topology, path_cache: "bool | None" = None):
-        if not topo.is_connected():
+    def __init__(
+        self,
+        topo: Topology,
+        path_cache: "bool | None" = None,
+        alive: "np.ndarray | None" = None,
+    ):
+        if alive is None and not topo.is_connected():
             raise ValueError("routing tables require a connected topology")
-        self.topo = topo
         # One batched all-sources BFS instead of n Python-level ones.
-        self.dist = topo.graph.all_pairs_distances(dtype=np.int16)
+        dist = topo.graph.all_pairs_distances(dtype=np.int16)
+        self._init_from(topo, dist, path_cache, alive)
+
+    @classmethod
+    def from_distances(
+        cls,
+        topo: Topology,
+        dist: np.ndarray,
+        path_cache: "bool | None" = None,
+        alive: "np.ndarray | None" = None,
+    ) -> "RoutingTables":
+        """Tables over an externally computed distance matrix.
+
+        The incremental fault-repair path
+        (:func:`repro.routing.degraded.reroute_after_failures`) patches
+        only the BFS rows a failure could have changed and builds the
+        rest of the table state through here — the lazy caches are
+        rebuilt on demand, so served paths are identical to a fresh
+        build's.
+        """
+        self = cls.__new__(cls)
+        self._init_from(topo, dist, path_cache, alive)
+        return self
+
+    def _init_from(self, topo, dist, path_cache, alive) -> None:
+        self.topo = topo
+        self.dist = dist
+        #: surviving-router mask for fault epochs (None: all alive)
+        self.alive_routers = (
+            np.asarray(alive, dtype=bool) if alive is not None else None
+        )
+        if self.alive_routers is not None:
+            sub = dist[np.ix_(self.alive_routers, self.alive_routers)]
+            if sub.size and bool((sub < 0).any()):
+                raise ValueError("failures disconnect the network")
         self._path_cache_opt = path_cache
         self._path_cache_on: "bool | None" = None
         # Lazily-built CSR of minimal next-hop candidates per (src, dst)

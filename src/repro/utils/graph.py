@@ -249,6 +249,34 @@ class Graph:
             count += dist.shape[0] * (self.n - 1)
         return total / count if count else 0.0
 
+    def diameter_and_aspl(
+        self, sample: int | None = None, rng=None
+    ) -> tuple[int, float]:
+        """Diameter and mean pairwise distance in one batched BFS pass.
+
+        Failure sweeps need both per checkpoint; computing them
+        separately pays the all-pairs expansion twice (and, when
+        sampling, draws two different source sets).  Returns
+        ``(-1, inf)`` on the first disconnected block, without expanding
+        the remaining sources.
+        """
+        sources = np.arange(self.n)
+        if sample is not None and sample < self.n:
+            from repro.utils.rng import make_rng
+
+            sources = make_rng(rng).choice(self.n, size=sample, replace=False)
+        worst = 0
+        total = 0
+        count = 0
+        for block in self._source_blocks(sources):
+            dist = self.all_pairs_distances(block)
+            if bool((dist < 0).any()):
+                return -1, float("inf")
+            worst = max(worst, int(dist.max()))
+            total += int(dist.sum())
+            count += dist.shape[0] * (self.n - 1)
+        return worst, total / count if count else 0.0
+
     def is_connected(self) -> bool:
         """True iff every vertex is reachable from vertex 0."""
         if self.n == 0:

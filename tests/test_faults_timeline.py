@@ -1,0 +1,211 @@
+"""Unit tests for fault timelines, generators, and epoch compilation."""
+
+import numpy as np
+import pytest
+
+from repro.core import PolarFly
+from repro.experiments import FAULTS, POLICIES
+from repro.faults import FaultEvent, FaultState, FaultTimeline
+from repro.faults.timeline import _alive_connected
+from repro.routing.tables import RoutingTables
+
+
+@pytest.fixture(scope="module")
+def pf():
+    return PolarFly(7, concentration=2)
+
+
+@pytest.fixture(scope="module")
+def tables(pf):
+    return RoutingTables(pf)
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultEvent(10, "meteor_strike", 0, 1)
+        with pytest.raises(ValueError, match="cycle"):
+            FaultEvent(-1, "link_down", 0, 1)
+        with pytest.raises(ValueError, match="endpoints"):
+            FaultEvent(5, "link_down", 3)
+        with pytest.raises(ValueError, match="single router"):
+            FaultEvent(5, "router_down", 3, 4)
+
+    def test_link_canonicalizes(self):
+        assert FaultEvent(0, "link_down", 5, 2).link == (2, 5)
+
+
+class TestFaultTimeline:
+    def test_sorted_and_stable(self):
+        tl = FaultTimeline(
+            [
+                FaultEvent(300, "link_up", 0, 1),
+                FaultEvent(100, "link_down", 0, 1),
+                FaultEvent(100, "link_down", 1, 2),
+            ]
+        )
+        assert [e.cycle for e in tl] == [100, 100, 300]
+        assert tl.events[0].link == (0, 1)  # same-cycle order preserved
+        assert tl.event_cycles == (100, 300)
+        assert tl.first_event_cycle == 100
+
+    def test_empty(self):
+        tl = FaultTimeline([])
+        assert tl.num_events == 0
+        assert tl.first_event_cycle == -1
+
+
+class TestGenerators:
+    def test_registry_round_trip(self):
+        assert set(FAULTS.names()) == {
+            "linkflap", "mtbf", "routerdown", "progressive",
+        }
+        for name in FAULTS.names():
+            example = FAULTS.example(name)
+            assert FAULTS.canonical(example) == FAULTS.canonical(
+                FAULTS.canonical(example)
+            )
+
+    @pytest.mark.parametrize("name", ["linkflap", "mtbf", "routerdown", "progressive"])
+    def test_deterministic(self, pf, name):
+        spec = FAULTS.example(name)
+        a = FAULTS.create(spec, pf)
+        b = FAULTS.create(spec, pf)
+        assert a.events == b.events
+
+    def test_linkflap_events_are_edges(self, pf):
+        tl = FAULTS.create("linkflap:count=3,cycle=100,duration=50,seed=2", pf)
+        downs = [e for e in tl if e.kind == "link_down"]
+        ups = [e for e in tl if e.kind == "link_up"]
+        assert len(downs) == 3 and len(ups) == 3
+        for e in downs:
+            assert pf.graph.has_edge(*e.link)
+        assert {e.link for e in downs} == {e.link for e in ups}
+        assert all(e.cycle == 150 for e in ups)
+
+    def test_mtbf_repairs_follow_failures(self, pf):
+        tl = FAULTS.create("mtbf:count=4,mtbf=200,mttr=150,seed=1,start=50", pf)
+        first_down = {}
+        for e in tl:
+            if e.kind == "link_down" and e.link not in first_down:
+                first_down[e.link] = e.cycle
+        for e in tl:
+            if e.kind == "link_up":
+                assert e.cycle > first_down[e.link]
+
+    def test_progressive_budget(self, pf):
+        tl = FAULTS.create("progressive:frac=0.1,steps=4,period=100,seed=3", pf)
+        downs = [e for e in tl if e.kind == "link_down"]
+        assert 0 < len(downs) <= int(0.1 * pf.num_links)
+        assert all(e.kind == "link_down" for e in tl)
+        # Connectivity-safe by construction.
+        assert _alive_connected(pf.graph, {e.link for e in downs}, set())
+
+    def test_routerdown_safe(self, pf):
+        tl = FAULTS.create("routerdown:count=2,cycle=80,seed=5", pf)
+        victims = {e.u for e in tl if e.kind == "router_down"}
+        assert len(victims) == 2
+        assert _alive_connected(pf.graph, set(), victims)
+
+    def test_retransmit_flag_parses(self, pf):
+        tl = FAULTS.create("linkflap:count=1,cycle=10,retransmit=false", pf)
+        assert tl.retransmit is False
+
+
+class TestFaultState:
+    def test_epochs_and_deltas(self, pf, tables):
+        edges = pf.graph.edges()
+        e0 = (int(edges[0][0]), int(edges[0][1]))
+        tl = FaultTimeline(
+            [
+                FaultEvent(100, "link_down", *e0),
+                FaultEvent(200, "router_down", 7),
+                FaultEvent(300, "router_up", 7),
+                FaultEvent(300, "link_up", *e0),
+            ]
+        )
+        policy = POLICIES.create("min", tables)
+        st = FaultState(tl, pf, policy)
+        assert len(st.epochs) == 4  # pristine + 3 event cycles
+        d1 = st.deltas[1]
+        assert d1.down_links == (e0,) and d1.down_routers == ()
+        d2 = st.deltas[2]
+        incident = {
+            (min(7, int(v)), max(7, int(v))) for v in pf.graph.neighbors(7)
+        } - {e0}
+        assert set(d2.down_links) == incident
+        assert d2.down_routers == (7,)
+        d3 = st.deltas[3]
+        assert d3.up_routers == (7,)
+        assert set(d3.up_links) == incident | {e0}
+        # Final epoch is pristine again: its tables are the base object.
+        assert st.epochs[-1].tables is tables
+
+    def test_advance_updates_masks(self, pf, tables):
+        tl = FaultTimeline([FaultEvent(10, "router_down", 3)])
+        st = FaultState(tl, pf, POLICIES.create("min", tables))
+        assert st.advance(9) is None
+        delta = st.advance(10)
+        assert delta is not None and delta.down_routers == (3,)
+        assert not st.router_alive[3]
+        assert not st.ep_alive[pf.endpoint_offsets[3]]
+        assert st.any_dead_router
+        assert st.advance(11) is None
+
+    def test_disconnecting_timeline_raises_at_attach(self, pf, tables):
+        # Kill every link of router 0: survivor set disconnects.
+        doomed = [
+            FaultEvent(50, "link_down", 0, int(v))
+            for v in pf.graph.neighbors(0)
+        ]
+        policy = POLICIES.create("min", tables)
+        with pytest.raises(ValueError, match="disconnect"):
+            FaultState(FaultTimeline(doomed), pf, policy)
+
+    def test_non_edge_event_rejected(self, pf, tables):
+        non_edge = None
+        for v in range(1, pf.num_routers):
+            if not pf.graph.has_edge(0, v):
+                non_edge = (0, v)
+                break
+        tl = FaultTimeline([FaultEvent(10, "link_down", *non_edge)])
+        with pytest.raises(ValueError, match="non-edge"):
+            FaultState(tl, pf, POLICIES.create("min", tables))
+
+    def test_pins_policy_hop_ceiling(self, pf, tables):
+        tl = FAULTS.create("progressive:frac=0.15,steps=2,period=100,seed=1", pf)
+        policy = POLICIES.create("ugal-pf", tables)
+        base_hops = policy.max_hops
+        FaultState(tl, pf, policy)
+        # Degraded diameter grows, so the valiant worst case may too —
+        # and the policy must be parked back on the pristine tables.
+        assert policy.max_hops >= base_hops
+        assert policy.tables is tables
+
+    def test_ftnca_rejected(self, tables):
+        from repro.experiments import TOPOLOGIES
+
+        ft = TOPOLOGIES.create("fattree:k=4,n=2")
+        ft_tables = RoutingTables(ft)
+        policy = POLICIES.create("ftnca", ft_tables)
+        edges = ft.graph.edges()
+        tl = FaultTimeline(
+            [FaultEvent(10, "link_down", int(edges[0][0]), int(edges[0][1]))]
+        )
+        with pytest.raises(NotImplementedError, match="FT-NCA"):
+            FaultState(tl, ft, policy)
+
+    def test_marks_split_latency_stream(self, pf, tables):
+        lat = np.arange(10)
+
+        class Stat:
+            latencies = lat
+
+        tl = FaultTimeline([FaultEvent(5, "router_down", 3)])
+        st = FaultState(tl, pf, POLICIES.create("min", tables))
+        st.advance(5)
+        st.note_mark(5, 4)
+        res = st.build_result(Stat())
+        assert np.array_equal(res.pre_fault_latencies, lat[:4])
+        assert np.array_equal(res.post_fault_latencies, lat[4:])
+        assert res.applied_events == 1

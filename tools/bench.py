@@ -74,6 +74,11 @@ def main(argv=None) -> int:
         help="skip the closed-loop workload benchmark section",
     )
     parser.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="skip the resilience-under-load (fault timeline) section",
+    )
+    parser.add_argument(
         "--check-construction",
         type=float,
         default=None,
@@ -109,6 +114,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         construction=not args.no_construction,
         workloads=not args.no_workloads,
+        faults=not args.no_faults,
     )
     path = write_bench_json(doc, args.out)
 
@@ -143,6 +149,23 @@ def main(argv=None) -> int:
                     f"workload {name} speedup {speedup:.2f}x < required "
                     f"{args.check:.2f}x"
                 )
+
+    for name, entry in doc.get("faults", {}).items():
+        eng = entry["engines"]
+        line = (
+            f"{name:28s} reference {eng['reference']['cycles_per_sec']:9.0f} "
+            f"c/s   flat {eng['flat']['cycles_per_sec']:9.0f} c/s   "
+            f"drops {entry['dropped_flits']:4d}"
+        )
+        if "speedup_flat_over_reference" in entry:
+            speedup = entry["speedup_flat_over_reference"]
+            line += f"   speedup {speedup:.2f}x"
+            if args.check is not None and speedup < args.check:
+                failed.append(
+                    f"fault cell {name} speedup {speedup:.2f}x < required "
+                    f"{args.check:.2f}x"
+                )
+        print(line)
 
     for name, entry in doc.get("construction", {}).items():
         rt = entry["routing_tables"]
