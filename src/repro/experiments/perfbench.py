@@ -17,6 +17,7 @@ importable directly.
 
 from __future__ import annotations
 
+import contextlib
 import platform
 import time
 
@@ -24,6 +25,7 @@ import numpy as np
 
 from repro.experiments.registry import POLICIES, TOPOLOGIES, TRAFFICS
 from repro.experiments.runner import auto_sim_config
+from repro.flitsim._kernel import load_kernel, numpy_fallback
 from repro.flitsim.engine import make_simulator
 
 __all__ = [
@@ -33,6 +35,7 @@ __all__ = [
     "CONSTRUCTION_GATE",
     "WORKLOAD_CELLS",
     "FAULT_CELLS",
+    "CLOSED_LOOP_ENGINES",
     "bench_cell",
     "bench_workload_cell",
     "bench_fault_cell",
@@ -81,6 +84,9 @@ CONSTRUCTION_GATE = "pf_q19"
 #: workload engine's headline number (the paper-adjacent metric real
 #: systems are judged on), recorded per engine with the same
 #: flat-over-reference speedup bookkeeping as the open-loop cells.
+#: The ``wk01`` cell is the kernel-path headline: min routing keeps the
+#: Python share (batched route selection) small, so its
+#: kernel-over-numpy speedup tracks the C cycle kernel itself.
 WORKLOAD_CELLS = {
     "allreduce_ring_pf_q7": dict(
         topology="polarfly:conc=2,q=7", policy="ugal-pf",
@@ -89,24 +95,67 @@ WORKLOAD_CELLS = {
     "alltoall_pf_q7": dict(
         topology="polarfly:conc=2,q=7", policy="min", workload="alltoall:size=8",
     ),
+    "wk01_allreduce_kernel": dict(
+        topology="polarfly:conc=2,q=7", policy="min",
+        workload="allreduce:algo=ring,size=64",
+    ),
 }
 
-#: The canonical resilience-under-load cell: the Figure-9 headline
-#: configuration with a mid-run MTBF link failure/repair process — the
-#: fault phase rides the numpy cycle path (no C kernel), so this cell
-#: tracks the fault subsystem's engine overhead and drop accounting.
+#: The canonical resilience-under-load cells: the Figure-9 headline
+#: configuration with a mid-run MTBF link failure/repair process.  The
+#: fault cycle phases run in the C kernel too (drops, dead-port masks,
+#: credit semantics — epoch deltas stay in Python); ``fault01`` is the
+#: kernel-path headline with min routing, mirroring ``wk01``.
 FAULT_CELLS = {
     "fig14_pf_ugalpf_mtbf": dict(
         topology="polarfly:conc=2,q=7", policy="ugal-pf", traffic="uniform",
         load=0.5, faults="mtbf:count=3,mtbf=250,mttr=200,seed=2,start=150",
     ),
+    "fault01_mtbf_kernel": dict(
+        topology="polarfly:conc=2,q=7", policy="min", traffic="uniform",
+        load=0.5, faults="mtbf:count=3,mtbf=250,mttr=200,seed=2,start=150",
+    ),
 }
+
+#: Engines benchmarked on workload/fault cells.  ``flat-numpy`` is the
+#: flat engine with the C kernel disabled for the construction (see
+#: :func:`~repro.flitsim._kernel.numpy_fallback`) — recording it next
+#: to ``flat`` turns every closed-loop/fault cell into a
+#: kernel-vs-numpy measurement.  Dropped automatically (with a notice)
+#: when no kernel is available, since both names would time the same
+#: code.
+CLOSED_LOOP_ENGINES = ("reference", "flat-numpy", "flat")
+
+
+def _engine_ctx(engine: str):
+    """(real engine name, construction context) for one engine label."""
+    if engine == "flat-numpy":
+        return "flat", numpy_fallback()
+    return engine, contextlib.nullcontext()
+
+
+def _resolve_engines(engines) -> tuple:
+    """Drop ``flat-numpy`` when the kernel is unavailable anyway."""
+    if "flat-numpy" in engines and load_kernel() is None:
+        return tuple(e for e in engines if e != "flat-numpy")
+    return tuple(engines)
+
+
+def _add_speedups(result: dict) -> None:
+    """Attach the derived speedup ratios for one cell's engine dict."""
+    eng = result["engines"]
+    if "reference" in eng and "flat" in eng:
+        result["speedup_flat_over_reference"] = (
+            eng["flat"]["cycles_per_sec"] / eng["reference"]["cycles_per_sec"]
+        )
+    if "flat-numpy" in eng and "flat" in eng:
+        result["speedup_kernel_over_numpy"] = (
+            eng["flat"]["cycles_per_sec"] / eng["flat-numpy"]["cycles_per_sec"]
+        )
 
 
 def machine_info() -> dict:
     """Environment fingerprint recorded next to every measurement."""
-    from repro.flitsim._kernel import load_kernel
-
     return {
         "platform": platform.platform(),
         "python": platform.python_version(),
@@ -139,11 +188,13 @@ def bench_cell(
     config = auto_sim_config(policy)
     cycles = warmup + measure
     result: dict = {"cell": dict(cell), "cycles": cycles, "engines": {}}
-    for engine in engines:
-        sim = make_simulator(
-            topo, policy, traffic, cell["load"], config=config, seed=seed,
-            engine=engine,
-        )
+    for engine in _resolve_engines(engines):
+        real, ctx = _engine_ctx(engine)
+        with ctx:
+            sim = make_simulator(
+                topo, policy, traffic, cell["load"], config=config,
+                seed=seed, engine=real,
+            )
         start = time.perf_counter()
         for _ in range(cycles):
             sim.step()
@@ -152,11 +203,7 @@ def bench_cell(
             "wall_s": wall,
             "cycles_per_sec": cycles / wall,
         }
-    eng = result["engines"]
-    if "reference" in eng and "flat" in eng:
-        result["speedup_flat_over_reference"] = (
-            eng["flat"]["cycles_per_sec"] / eng["reference"]["cycles_per_sec"]
-        )
+    _add_speedups(result)
     return result
 
 
@@ -164,7 +211,7 @@ def bench_workload_cell(
     cell: dict,
     max_cycles: int = 100_000,
     seed: int = 1,
-    engines=("reference", "flat"),
+    engines=CLOSED_LOOP_ENGINES,
 ) -> dict:
     """Time one closed-loop cell to completion per engine.
 
@@ -182,13 +229,15 @@ def bench_workload_cell(
     workload = WORKLOADS.create(cell["workload"], topo)
     config = auto_sim_config(policy)
     result: dict = {"cell": dict(cell), "engines": {}}
-    for engine in engines:
-        start = time.perf_counter()
-        res = simulate_workload(
-            topo, policy, workload, config=config, max_cycles=max_cycles,
-            seed=seed, engine=engine,
-        )
-        wall = time.perf_counter() - start
+    for engine in _resolve_engines(engines):
+        real, ctx = _engine_ctx(engine)
+        with ctx:
+            start = time.perf_counter()
+            res = simulate_workload(
+                topo, policy, workload, config=config, max_cycles=max_cycles,
+                seed=seed, engine=real,
+            )
+            wall = time.perf_counter() - start
         result["engines"][engine] = {
             "wall_s": wall,
             "cycles_per_sec": res.cycles / wall if wall else float("inf"),
@@ -209,11 +258,7 @@ def bench_workload_cell(
         result["wire_flits"] = res.wire_flits
         result["bisection_utilization"] = res.bisection_utilization
         result["finished"] = res.finished
-    eng = result["engines"]
-    if "reference" in eng and "flat" in eng:
-        result["speedup_flat_over_reference"] = (
-            eng["flat"]["cycles_per_sec"] / eng["reference"]["cycles_per_sec"]
-        )
+    _add_speedups(result)
     return result
 
 
@@ -222,7 +267,7 @@ def bench_fault_cell(
     warmup: int = 150,
     measure: int = 400,
     seed: int = 1,
-    engines=("reference", "flat"),
+    engines=CLOSED_LOOP_ENGINES,
 ) -> dict:
     """Time one faulted open-loop cell per engine.
 
@@ -239,16 +284,18 @@ def bench_fault_cell(
     traffic = TRAFFICS.create(cell["traffic"], topo)
     cycles = warmup + measure
     result: dict = {"cell": dict(cell), "cycles": cycles, "engines": {}}
-    for engine in engines:
+    for engine in _resolve_engines(engines):
         # Fault state (and the policy it pins) is single-run: rebuild.
         timeline = FAULTS.create(cell["faults"], topo)
         policy = POLICIES.create(cell["policy"], tables)
         prepare_fault_policy(policy, timeline, topo)
-        sim = make_simulator(
-            topo, policy, traffic, cell["load"],
-            config=auto_sim_config(policy), seed=seed, engine=engine,
-            faults=timeline,
-        )
+        real, ctx = _engine_ctx(engine)
+        with ctx:
+            sim = make_simulator(
+                topo, policy, traffic, cell["load"],
+                config=auto_sim_config(policy), seed=seed, engine=real,
+                faults=timeline,
+            )
         start = time.perf_counter()
         for _ in range(cycles):
             sim.step()
@@ -272,11 +319,7 @@ def bench_fault_cell(
                 f"{counters}"
             )
         result.update(counters)
-    eng = result["engines"]
-    if "reference" in eng and "flat" in eng:
-        result["speedup_flat_over_reference"] = (
-            eng["flat"]["cycles_per_sec"] / eng["reference"]["cycles_per_sec"]
-        )
+    _add_speedups(result)
     return result
 
 
@@ -285,7 +328,7 @@ def run_fault_benchmarks(
     warmup: int = 150,
     measure: int = 400,
     seed: int = 1,
-    engines=("reference", "flat"),
+    engines=CLOSED_LOOP_ENGINES,
 ) -> dict:
     """The ``faults`` section of ``BENCH_flitsim.json``."""
     cells = FAULT_CELLS if cells is None else cells
@@ -301,7 +344,7 @@ def run_workload_benchmarks(
     cells: "dict | None" = None,
     max_cycles: int = 100_000,
     seed: int = 1,
-    engines=("reference", "flat"),
+    engines=CLOSED_LOOP_ENGINES,
 ) -> dict:
     """The ``workloads`` section of ``BENCH_flitsim.json``."""
     cells = WORKLOAD_CELLS if cells is None else cells
@@ -426,10 +469,12 @@ def run_benchmarks(
             cell, warmup=warmup, measure=measure, seed=seed, engines=engines
         )
     if workloads:
-        doc["workloads"] = run_workload_benchmarks(seed=seed, engines=engines)
+        # Closed-loop/fault sections time three engines (reference,
+        # flat-numpy, flat) so kernel-vs-numpy is recorded per cell.
+        doc["workloads"] = run_workload_benchmarks(seed=seed)
     if faults:
         doc["faults"] = run_fault_benchmarks(
-            warmup=warmup, measure=measure, seed=seed, engines=engines
+            warmup=warmup, measure=measure, seed=seed
         )
     if construction:
         doc["construction"] = run_construction_benchmarks()

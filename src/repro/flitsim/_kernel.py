@@ -7,14 +7,40 @@ same cycle protocol (see :mod:`repro.flitsim.engine`) as one C pass over
 the very same flat int64 arrays, via :mod:`cffi` — no new dependencies,
 no extension to build at install time.
 
+The kernel is **universal**: it executes the full cycle protocol in
+every mode, not just open loop.
+
+* *Workload mode* needs no extra C state — ``kinject`` appends packet
+  flit chains to arbitrary (possibly repeated) endpoint FIFOs, and the
+  per-cycle **completion ring buffer** ``tail_pids`` (filled by
+  ``kroute`` in grant order, the latency-recording order) carries every
+  ejected tail back to Python, where the workload eligibility state
+  machine maps packet slots to message ids.
+* *Fault mode* sets ``fault_mode`` and binds the death mask
+  (``dead_row``), per-packet outstanding-flit counters (``pkt_live``,
+  replacing tail-order slot recycling, since drops retire packets out
+  of order), the damaged-packet flags, and a second per-cycle ring
+  buffer ``drop_tail_pids`` plus the ``fcnt`` counters for exact
+  drop/credit reporting: head flits whose first hop is dead drop in
+  endpoint order without consuming the injection credit, and granted
+  flits whose next output is dead evaporate on the wire in grant order
+  without consuming the upstream credit — bit-identical to the numpy
+  path and the reference engine.  Epoch-boundary table swaps and
+  event-time queue drops stay in Python (they are rare); they mutate
+  the very arrays the kernel is bound to, so no re-binding is needed.
+
 * Loading is best-effort: no cffi, no C compiler, or any compile error
-  silently yields ``None`` and :class:`~repro.flitsim.flatcore.FlatSimulator`
-  falls back to its pure-numpy path (bit-identical results either way —
-  the golden equivalence tests run both).
-* ``REPRO_FLAT_KERNEL=0`` disables the kernel explicitly.
+  yields ``None`` (with a one-line stderr diagnostic) and
+  :class:`~repro.flitsim.flatcore.FlatSimulator` falls back to its
+  pure-numpy path (bit-identical results either way — the golden
+  equivalence tests run both).
+* ``REPRO_FLAT_KERNEL=0`` disables the kernel explicitly; the setting
+  is re-read on every :func:`load_kernel` call, so tests and benchmarks
+  can toggle the cycle path per construction without reloading.
 * Compiled modules are cached under ``$REPRO_KERNEL_CACHE`` (default
   ``~/.cache/repro-flitsim``) keyed by a hash of the C source, so the
-  compiler runs once per source revision, not once per process.
+  compiler runs once per source revision, not once per process — test
+  runs and CI import the cached ``.so`` instead of recompiling.
 
 The C code mirrors the *reference* engine's decision loop (routers
 ascending, link outputs then ejection, circular round-robin scan,
@@ -24,6 +50,7 @@ decide-all-then-apply) — the simplest shape to audit against
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import importlib.util
 import os
@@ -31,11 +58,12 @@ import shutil
 import sys
 import tempfile
 
-__all__ = ["load_kernel", "kernel_enabled"]
+__all__ = ["load_kernel", "kernel_enabled", "numpy_fallback"]
 
-_CDEF = """
+_STRUCT = """
 typedef struct {
     int64_t n, E, I, O, OE, Dp, V, ps, hop_latency, stride;
+    int64_t fault_mode;
     int64_t *deg, *ports, *conc;
     int64_t *nbr, *rev, *port_mat;
     int64_t *ep_router, *ep_inport, *ep_off;
@@ -47,8 +75,19 @@ typedef struct {
     int64_t *pkt_free, *pkt_free_top;
     int64_t *free_stack, *free_top;
     int64_t *g_vq, *g_f, *tail_pids;
+    /* Fault mode only (fault_mode == 0 leaves these NULL): the
+     * (router, out) death mask, outstanding-flit counters and damaged
+     * flags per packet slot, the tail-drop ring buffer (drop order),
+     * and fcnt = {dropped flits, tail drops} for the current cycle. */
+    int8_t *dead_row;
+    int64_t *pkt_live;
+    int8_t *pkt_damaged;
+    int64_t *drop_tail_pids;
+    int64_t *fcnt;
 } SimState;
+"""
 
+_CDEF = _STRUCT + """
 void kinject(SimState *st, int64_t now, int64_t k,
              const int64_t *slots, const int64_t *winners);
 void kfeed(SimState *st, int64_t now);
@@ -57,21 +96,24 @@ int64_t kroute(SimState *st, int64_t now, int64_t *n_ejected);
 
 _C_SOURCE = """
 #include <stdint.h>
+""" + _STRUCT + """
 
-typedef struct {
-    int64_t n, E, I, O, OE, Dp, V, ps, hop_latency, stride;
-    int64_t *deg, *ports, *conc;
-    int64_t *nbr, *rev, *port_mat;
-    int64_t *ep_router, *ep_inport, *ep_off;
-    int64_t *voq_head, *voq_tail, *voq_count, *backlog, *rr, *credits;
-    int64_t *pool_pid, *pool_seq, *pool_hop, *pool_ready, *pool_next;
-    int64_t *src_head, *src_tail, *ep_credit;
-    int64_t *pkt_len, *pkt_dst;
-    int64_t *route_buf;
-    int64_t *pkt_free, *pkt_free_top;
-    int64_t *free_stack, *free_top;
-    int64_t *g_vq, *g_f, *tail_pids;
-} SimState;
+/* Account and release one dropped flit row (fault mode): bump the
+ * flit-drop counter, flag the packet damaged, record a lost tail in the
+ * ring buffer (array order = drop order, which feeds the retransmit
+ * queue), and recycle the pool row — plus the packet slot once its
+ * outstanding-flit count hits zero. */
+static void drop_flit(SimState *st, int64_t f)
+{
+    int64_t pid = st->pool_pid[f];
+    st->fcnt[0] += 1;
+    st->pkt_damaged[pid] = 1;
+    if (st->pool_seq[f] == st->ps - 1)
+        st->drop_tail_pids[st->fcnt[1]++] = pid;
+    st->free_stack[(*st->free_top)++] = f;
+    if (--st->pkt_live[pid] == 0)
+        st->pkt_free[(*st->pkt_free_top)++] = pid;
+}
 
 /* Append flit f to VOQ vq (row = router*O + out for the backlog). */
 static void enqueue(SimState *st, int64_t vq, int64_t f, int64_t row)
@@ -87,7 +129,11 @@ static void enqueue(SimState *st, int64_t vq, int64_t f, int64_t row)
 }
 
 /* Protocol step 1 plumbing: pool rows + FIFO chains for k new packets
- * (RNG, routing, and the packet table are written by the caller). */
+ * (RNG, routing, and the packet table are written by the caller).
+ * winners[j] is packet j's endpoint; repeats are fine — sequential
+ * appends keep per-endpoint FIFO order, which is all the protocol
+ * observes — so the same call serves Bernoulli winners (distinct) and
+ * workload batches (several packets may land on one endpoint). */
 void kinject(SimState *st, int64_t now, int64_t k,
              const int64_t *slots, const int64_t *winners)
 {
@@ -117,19 +163,19 @@ void kinject(SimState *st, int64_t now, int64_t k,
     }
 }
 
-/* Protocol step 2: one flit per endpoint from FIFO to injection VOQ. */
+/* Protocol step 2: one flit per endpoint from FIFO to injection VOQ.
+ * Fault mode: a head flit whose first-hop output is dead drops before
+ * entering the buffer (endpoint-ascending drop order), spending the
+ * endpoint's one-flit feed slot without consuming the credit. */
 void kfeed(SimState *st, int64_t now)
 {
     (void)now;
     int64_t I = st->I, O = st->O, OE = st->OE, n = st->n;
+    int64_t fm = st->fault_mode;
     for (int64_t e = 0; e < st->E; e++) {
         int64_t f = st->src_head[e];
-        if (f < 0 || st->ep_credit[e] <= 0)
+        if (f < 0)
             continue;
-        st->src_head[e] = st->pool_next[f];
-        if (st->src_head[e] < 0)
-            st->src_tail[e] = -1;
-        st->ep_credit[e] -= 1;
         int64_t r = st->ep_router[e];
         int64_t pid = st->pool_pid[f];
         int64_t out;
@@ -137,6 +183,19 @@ void kfeed(SimState *st, int64_t now)
             out = OE;
         else
             out = st->port_mat[r * n + st->route_buf[pid * st->stride + 1]];
+        if (fm && st->dead_row[r * O + out]) {
+            st->src_head[e] = st->pool_next[f];
+            if (st->src_head[e] < 0)
+                st->src_tail[e] = -1;
+            drop_flit(st, f);
+            continue;
+        }
+        if (st->ep_credit[e] <= 0)
+            continue;
+        st->src_head[e] = st->pool_next[f];
+        if (st->src_head[e] < 0)
+            st->src_tail[e] = -1;
+        st->ep_credit[e] -= 1;
         enqueue(st, (r * I + st->ep_inport[e]) * O + out, f, r * O + out);
     }
 }
@@ -194,6 +253,7 @@ int64_t kroute(SimState *st, int64_t now, int64_t *n_ejected)
 
     /* Apply. */
     int64_t n_tail = 0, n_ej = 0;
+    int64_t fm = st->fault_mode;
     for (int64_t i = 0; i < ng; i++) {
         int64_t vq = st->g_vq[i], f = st->g_f[i];
         int64_t out = vq % O;
@@ -223,28 +283,41 @@ int64_t kroute(SimState *st, int64_t now, int64_t *n_ejected)
 
         if (out == OE) {
             n_ej++;
-            if (st->pool_seq[f] == st->ps - 1) {
+            if (st->pool_seq[f] == st->ps - 1)
                 st->tail_pids[n_tail++] = pid;
-                /* Tail flit is the packet's last: recycle its slot.
-                 * The caller reads pkt_* for these pids before the
-                 * slot can be reallocated (next injection). */
+            st->free_stack[(*st->free_top)++] = f;
+            /* Slot recycling: tail order when nothing can drop; by
+             * outstanding-flit count under faults (drops retire
+             * packets out of tail order).  The caller reads pkt_* for
+             * completed pids before any slot can be reallocated (next
+             * injection). */
+            if (fm) {
+                if (--st->pkt_live[pid] == 0)
+                    st->pkt_free[(*st->pkt_free_top)++] = pid;
+            } else if (st->pool_seq[f] == st->ps - 1) {
                 st->pkt_free[(*st->pkt_free_top)++] = pid;
             }
-            st->free_stack[(*st->free_top)++] = f;
         } else {
-            int64_t dvc = hop;
-            if (dvc > V - 1)
-                dvc = V - 1;
-            st->credits[(r * Dp + out) * V + dvc] -= 1;
             int64_t nxt = st->nbr[r * Dp + out];
             int64_t in2 = st->rev[r * Dp + out];
-            st->pool_hop[f] = hop + 1;
-            st->pool_ready[f] = now + st->hop_latency;
             int64_t out2;
             if (nxt == st->pkt_dst[pid])
                 out2 = OE;
             else
                 out2 = st->port_mat[nxt * n + st->route_buf[off + hop + 2]];
+            if (fm && st->dead_row[nxt * O + out2]) {
+                /* Dead output at the next router: the flit evaporates
+                 * on the wire, in grant order, and the credit toward
+                 * (r, out) is never consumed. */
+                drop_flit(st, f);
+                continue;
+            }
+            int64_t dvc = hop;
+            if (dvc > V - 1)
+                dvc = V - 1;
+            st->credits[(r * Dp + out) * V + dvc] -= 1;
+            st->pool_hop[f] = hop + 1;
+            st->pool_ready[f] = now + st->hop_latency;
             enqueue(st, (nxt * I + in2) * O + out2, f, nxt * O + out2);
         }
     }
@@ -258,11 +331,48 @@ _CACHE_ENV = "REPRO_KERNEL_CACHE"
 
 _cached = False
 _module = None
+_diagnosed: set = set()
 
 
 def kernel_enabled() -> bool:
     """Whether the environment allows using the C kernel."""
     return os.environ.get(_ENV, "1") not in ("0", "off", "no")
+
+
+def _diagnose(reason: str) -> None:
+    """One-line stderr note the first time a fallback cause is hit.
+
+    Keyed by reason so an explicit ``REPRO_FLAT_KERNEL=0`` and a missing
+    compiler each announce themselves exactly once per process — the
+    numpy path is bit-identical, but silently losing ~an order of
+    magnitude of speed is worth a line.
+    """
+    if reason not in _diagnosed:
+        _diagnosed.add(reason)
+        print(
+            f"repro.flitsim: C cycle kernel unavailable ({reason}); "
+            "using the numpy cycle path",
+            file=sys.stderr,
+        )
+
+
+@contextlib.contextmanager
+def numpy_fallback():
+    """Force the numpy cycle path for simulators built inside the block.
+
+    Sets ``REPRO_FLAT_KERNEL=0`` for the duration; :func:`load_kernel`
+    re-reads the toggle on every call, so the compiled module stays
+    cached and simulators built outside the block are unaffected.
+    """
+    old = os.environ.get(_ENV)
+    os.environ[_ENV] = "0"
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(_ENV, None)
+        else:
+            os.environ[_ENV] = old
 
 
 def _cache_dir() -> str:
@@ -300,15 +410,20 @@ def _build(cache: str, name: str) -> "str | None":
 def load_kernel():
     """The compiled kernel module (``.ffi``/``.lib``), or ``None``.
 
-    The result is memoized; failures of any kind (no cffi, no compiler)
-    degrade silently to ``None`` — the numpy path is always available.
+    ``REPRO_FLAT_KERNEL`` is re-read on every call (so the cycle path
+    can be toggled per simulator construction — see
+    :func:`numpy_fallback`); the build itself is attempted once per
+    process and memoized.  Failures of any kind (no cffi, no compiler)
+    degrade to ``None`` with a one-line diagnostic — the numpy path is
+    always available and bit-identical.
     """
     global _cached, _module
+    if not kernel_enabled():
+        _diagnose(f"disabled via {_ENV}={os.environ.get(_ENV)}")
+        return None
     if _cached:
         return _module
     _cached = True
-    if not kernel_enabled():
-        return None
     try:
         digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
         name = f"_repro_flit_kernel_{digest}"
@@ -321,6 +436,10 @@ def load_kernel():
         sys.modules[name] = module
         spec.loader.exec_module(module)
         _module = module
-    except Exception:
+    except ImportError:
         _module = None
+        _diagnose("cffi not installed")
+    except Exception as exc:
+        _module = None
+        _diagnose(f"build failed: {type(exc).__name__}: {exc}")
     return _module

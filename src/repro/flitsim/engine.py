@@ -84,6 +84,13 @@ cycle, shared semantics living in :class:`~repro.faults.state.FaultState`:
 The golden rule extends: flat and reference engines produce bit-identical
 results per seed for every fault timeline, including drop counts,
 retransmit order, and post-repair routes.
+
+**C cycle kernel**: when cffi and a C compiler are available the flat
+engine executes steps 2-3 — including fault-mode wire/feed drops and the
+tail-completion reporting workload mode needs — in a compiled kernel for
+*every* mode (open-loop, workload, fault, and combined), with Python
+keeping only epoch deltas (step 0) and dependency/retransmit bookkeeping.
+Results stay bit-identical either way; see :mod:`repro.flitsim._kernel`.
 """
 
 from __future__ import annotations

@@ -244,21 +244,26 @@ class FlatSimulator(SimulatorCore):
             self.pkt_live = np.zeros(self.pkt_cap, dtype=np.int64)
             self.pkt_damaged = np.zeros(self.pkt_cap, dtype=bool)
 
-        # Optional C cycle kernel (same protocol, same arrays); falls
-        # back to the pure-numpy phases when unavailable.  Workload and
-        # fault modes always take the numpy cycle path: the kernel knows
-        # nothing of message dependencies or dead ports, and the C
-        # source stays untouched.
-        self._kernel = (
-            None if (self._wl is not None or self._fault is not None)
-            else load_kernel()
-        )
+        # Optional C cycle kernel (same protocol, same arrays) in every
+        # mode — open loop, closed loop, faults, and combined; falls
+        # back to the pure-numpy phases when unavailable.  Workload
+        # dependency bookkeeping and epoch-boundary fault deltas stay in
+        # Python and communicate through the bound arrays and the
+        # per-cycle ring buffers (tail_pids, drop_tail_pids).
+        self._kernel = load_kernel()
         if self._kernel is not None:
             ffi = self._kernel.ffi
+            # Grants per cycle are bounded by one per (router, link
+            # output) plus the per-router ejection limit (≤ E + n), and
+            # per-cycle drops by the feed slots (≤ E) plus the link
+            # grants — so grant_cap caps both ring buffers.
             grant_cap = n * O + fab.E
             self._g_vq = np.empty(grant_cap, dtype=np.int64)
             self._g_f = np.empty(grant_cap, dtype=np.int64)
             self._tail_pids = np.empty(max(grant_cap, 1), dtype=np.int64)
+            if self._fault is not None:
+                self._drop_tails = np.empty(max(grant_cap, 1), dtype=np.int64)
+                self._fcnt = np.zeros(2, dtype=np.int64)
             self._n_ej = ffi.new("int64_t *")
             self._st = ffi.new("SimState *")
             self._bind_kernel_state()
@@ -305,16 +310,32 @@ class FlatSimulator(SimulatorCore):
 
         Called at construction and whenever a growable array is
         replaced; keeps the cffi buffer objects alive on the instance.
+        Every binding asserts dtype and C-contiguity here, once — a
+        future refactor that changes a buffer's layout fails loudly at
+        bind time instead of silently mis-binding the C view.
         """
         ffi = self._kernel.ffi
         fab = self.fab
         st = self._st
         refs = []
 
-        def ptr(arr):
-            buf = ffi.from_buffer("int64_t[]", arr)
+        def bind(arr, dtype, ctype):
+            if arr.dtype != dtype or not arr.flags.c_contiguous:
+                raise TypeError(
+                    f"kernel buffer must be C-contiguous {np.dtype(dtype)}, "
+                    f"got {arr.dtype} "
+                    f"(c_contiguous={arr.flags.c_contiguous})"
+                )
+            buf = ffi.from_buffer(ctype, arr)
             refs.append(buf)
             return buf
+
+        def ptr(arr):
+            return bind(arr, np.int64, "int64_t[]")
+
+        def bptr(arr):
+            # numpy bool is one byte; the kernel reads/writes int8.
+            return bind(arr, np.bool_, "int8_t[]")
 
         st.n, st.E, st.I, st.O, st.OE = fab.n, fab.E, fab.I, fab.O, fab.OE
         st.Dp = max(fab.D, 1)
@@ -344,6 +365,19 @@ class FlatSimulator(SimulatorCore):
         st.free_stack, st.free_top = ptr(self.free_stack), ptr(self._free_top)
         st.g_vq, st.g_f = ptr(self._g_vq), ptr(self._g_f)
         st.tail_pids = ptr(self._tail_pids)
+        st.fault_mode = 0 if self._fault is None else 1
+        if self._fault is not None:
+            st.dead_row = bptr(self.dead_row)
+            st.pkt_live = ptr(self.pkt_live)
+            st.pkt_damaged = bptr(self.pkt_damaged)
+            st.drop_tail_pids = ptr(self._drop_tails)
+            st.fcnt = ptr(self._fcnt)
+        else:
+            st.dead_row = ffi.NULL
+            st.pkt_live = ffi.NULL
+            st.pkt_damaged = ffi.NULL
+            st.drop_tail_pids = ffi.NULL
+            st.fcnt = ffi.NULL
         self._st_refs = refs
 
     # ------------------------------------------------------------------
@@ -556,8 +590,12 @@ class FlatSimulator(SimulatorCore):
                 )
             # Lost packets re-enter ahead of new messages, in drop order.
             rt = ft.pop_retransmits(st.workload)
+            if rt.size == 0 and mids.size == 0:
+                return
             pkt_mid = np.concatenate([rt, np.repeat(mids, st.msg_pkts[mids])])
         else:
+            if mids.size == 0:
+                return
             pkt_mid = np.repeat(mids, st.msg_pkts[mids])
         if pkt_mid.size == 0:
             return
@@ -565,13 +603,30 @@ class FlatSimulator(SimulatorCore):
         srcs = st.workload.src[pkt_mid]
         dsts = st.workload.dst[pkt_mid]
         slots, k = self._fill_packet_slots(srcs, dsts, pkt_mid=pkt_mid)
+        eps = fab.ep_off[srcs] + st.next_endpoints(srcs)
+
+        if self._kernel is not None:
+            # kinject appends sequentially, so several packets landing
+            # on one endpoint keep injection order automatically.
+            ps = self.config.packet_size
+            if self.free_top < k * ps:
+                self._grow_pool(k * ps - self.free_top)
+            ffi = self._kernel.ffi
+            self._kernel.lib.kinject(
+                self._st,
+                self.now,
+                k,
+                ffi.from_buffer("int64_t[]", slots),
+                ffi.from_buffer("int64_t[]", np.ascontiguousarray(eps)),
+            )
+            return
+
         idx = self._chain_flits(slots, k)
 
         # FIFO append with possible same-endpoint collisions: group the
         # packets by endpoint (stable, preserving injection order), link
         # consecutive chains within a group, then splice each group onto
         # its endpoint's existing tail.
-        eps = fab.ep_off[srcs] + st.next_endpoints(srcs)
         first, last = idx[:, 0], idx[:, -1]
         order = np.argsort(eps, kind="stable")
         es, fo, lo = eps[order], first[order], last[order]
@@ -943,11 +998,29 @@ class FlatSimulator(SimulatorCore):
             self.dead_row[r * fab.O + fab.OE] = False
 
     def _kernel_cycle(self) -> None:
-        """Feed + route phase in one C pass (same protocol, same arrays)."""
+        """Feed + route phase in one C pass (same protocol, same arrays).
+
+        The C side reports completions through the ``tail_pids`` ring
+        buffer (grant order — the latency-recording order) and, in fault
+        mode, drops through ``drop_tail_pids``/``fcnt`` (drop order:
+        feed drops endpoint-ascending, then wire kills in grant order);
+        the notification sequence below mirrors the numpy phases —
+        flit/tail drops first, then workload completions, then damaged
+        deliveries.
+        """
         lib = self._kernel.lib
+        ft = self._fault
+        if ft is not None:
+            self._fcnt[:] = 0
         lib.kfeed(self._st, self.now)
         n_tail = lib.kroute(self._st, self.now, self._n_ej)
         n_ej = self._n_ej[0]
+        if ft is not None:
+            dropped, tail_drops = int(self._fcnt[0]), int(self._fcnt[1])
+            if dropped:
+                ft.note_flit_drops(dropped)
+            if tail_drops:
+                ft.note_tail_drops(self.pkt_msg[self._drop_tails[:tail_drops]])
         if n_ej and self._measuring:
             self._stat.ejected_flits += n_ej
         if n_tail:
@@ -958,6 +1031,16 @@ class FlatSimulator(SimulatorCore):
                     (self.now - self.pkt_t_created[measured]).tolist()
                 )
                 self._stat.hop_counts.extend((self.pkt_len[measured] - 1).tolist())
+            if self._wl is not None:
+                self._wl.note_tails(
+                    self.pkt_msg[done],
+                    int((self.pkt_len[done] - 1).sum())
+                    * self.config.packet_size,
+                )
+            if ft is not None:
+                dmg = int(self.pkt_damaged[done].sum())
+                if dmg:
+                    ft.note_damaged_deliveries(dmg)
 
     def step(self) -> None:
         """Advance the simulation by one cycle."""
@@ -967,14 +1050,13 @@ class FlatSimulator(SimulatorCore):
                 self._apply_fault_delta(delta)
         if self._wl is not None:
             self._inject_workload()
-            self._feed()
-            self._route_phase()
-            self._wl.commit(self.now)
-        elif self._kernel is not None:
-            self._inject()
-            self._kernel_cycle()
         else:
             self._inject()
+        if self._kernel is not None:
+            self._kernel_cycle()
+        else:
             self._feed()
             self._route_phase()
+        if self._wl is not None:
+            self._wl.commit(self.now)
         self.now += 1

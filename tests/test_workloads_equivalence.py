@@ -1,12 +1,15 @@
 """Golden equivalence for the closed-loop path.
 
 The workload engine's acceptance contract: for the same seed, the flat
-(struct-of-arrays, numpy cycle path) and reference (dict-of-deques)
-engines return **bit-identical** :class:`~repro.workloads.WorkloadResult`\\ s
-on PolarFly q=7 across *every* registered workload generator (trace
-replay included), and workload sweeps are deterministic across worker
-counts and cache round trips.
+engine — on **both** cycle paths, pure numpy and the C kernel (when a
+compiler is present) — and the reference (dict-of-deques) engine return
+**bit-identical** :class:`~repro.workloads.WorkloadResult`\\ s on
+PolarFly q=7 across *every* registered workload generator (trace replay
+included), and workload sweeps are deterministic across worker counts
+and cache round trips.
 """
+
+import contextlib
 
 import numpy as np
 import pytest
@@ -22,9 +25,18 @@ from repro.experiments import (
 )
 from repro.experiments.runner import auto_sim_config, simulate_workload
 from repro.flitsim import FlatSimulator, NetworkSimulator
+from repro.flitsim._kernel import load_kernel, numpy_fallback
 from repro.routing.tables import RoutingTables
 
 PF_SPEC = "polarfly:conc=2,q=7"
+
+
+def flat_variants():
+    """(label, context factory, expects kernel) for both flat cycle paths."""
+    variants = [("flat-numpy", numpy_fallback, False)]
+    if load_kernel() is not None:
+        variants.append(("flat-kernel", contextlib.nullcontext, True))
+    return variants
 
 
 @pytest.fixture(scope="module")
@@ -93,16 +105,19 @@ def test_flat_matches_reference_all_workloads(
     cfg = auto_sim_config(policy)
     for wspec, kwargs in workload_specs(trace_path):
         wl = WORKLOADS.create(wspec, pf, **kwargs)
-        results = {}
-        for cls in (NetworkSimulator, FlatSimulator):
-            sim = cls(pf, policy, None, 0.0, config=cfg, seed=7, workload=wl)
-            assert getattr(sim, "_kernel", None) is None, (
-                "workload mode must take the numpy cycle path"
-            )
-            results[cls.__name__] = sim.run_workload(max_cycles=100_000)
-        ref = results["NetworkSimulator"]
+        ref = NetworkSimulator(
+            pf, policy, None, 0.0, config=cfg, seed=7, workload=wl
+        ).run_workload(max_cycles=100_000)
         assert ref.finished, wspec
-        assert_identical(ref, results["FlatSimulator"])
+        for label, ctx, expect_kernel in flat_variants():
+            with ctx():
+                sim = FlatSimulator(
+                    pf, policy, None, 0.0, config=cfg, seed=7, workload=wl
+                )
+            assert (sim._kernel is not None) == expect_kernel, (
+                f"{label} must {'use' if expect_kernel else 'skip'} the C kernel"
+            )
+            assert_identical(ref, sim.run_workload(max_cycles=100_000))
 
 
 def test_same_seed_is_deterministic(pf, tables):

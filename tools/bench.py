@@ -8,7 +8,12 @@
 ``--check RATIO`` exits nonzero when any benchmarked cell's
 flat-over-reference speedup falls below RATIO — the CI perf job runs
 with ``--check 1.0`` so a regression that makes the flat engine slower
-than the reference fails the build.
+than the reference fails the build.  Workload and fault cells also
+record a kernel-over-numpy speedup (the flat engine timed with and
+without the C cycle kernel); the same RATIO gates it, so losing the
+kernel path's advantage on closed-loop/fault cells fails too.  When no
+compiler is present the kernel cells are skipped with a visible notice
+instead of gating a meaningless 1x ratio.
 
 ``--check-construction SLACK`` guards the construction trajectory: the
 previously committed ``--out`` file is read *before* it is overwritten,
@@ -119,6 +124,12 @@ def main(argv=None) -> int:
     path = write_bench_json(doc, args.out)
 
     failed = []
+    if not doc["machine"]["flat_kernel"]:
+        print(
+            "NOTICE: C cycle kernel unavailable (no compiler/cffi or "
+            "REPRO_FLAT_KERNEL=0) — kernel-vs-numpy cells skipped; 'flat' "
+            "numbers reflect the numpy cycle path"
+        )
     for name, cell in doc["cells"].items():
         ref = cell["engines"]["reference"]["cycles_per_sec"]
         flat = cell["engines"]["flat"]["cycles_per_sec"]
@@ -133,7 +144,6 @@ def main(argv=None) -> int:
             )
 
     for name, entry in doc.get("workloads", {}).items():
-        eng = entry["engines"]
         line = (
             f"{name:28s} completion {entry['completion_cycles']:6d} cyc   "
             f"msgs {entry['num_messages']:5d}   bisect "
@@ -141,13 +151,21 @@ def main(argv=None) -> int:
         )
         if "speedup_flat_over_reference" in entry:
             line += f"   speedup {entry['speedup_flat_over_reference']:.2f}x"
+        if "speedup_kernel_over_numpy" in entry:
+            line += f"   kernel {entry['speedup_kernel_over_numpy']:.2f}x"
         print(line)
-        if args.check is not None and "speedup_flat_over_reference" in entry:
-            speedup = entry["speedup_flat_over_reference"]
-            if speedup < args.check:
+        if args.check is not None:
+            speedup = entry.get("speedup_flat_over_reference")
+            if speedup is not None and speedup < args.check:
                 failed.append(
                     f"workload {name} speedup {speedup:.2f}x < required "
                     f"{args.check:.2f}x"
+                )
+            kernel = entry.get("speedup_kernel_over_numpy")
+            if kernel is not None and kernel < args.check:
+                failed.append(
+                    f"workload {name} kernel-over-numpy {kernel:.2f}x < "
+                    f"required {args.check:.2f}x"
                 )
 
     for name, entry in doc.get("faults", {}).items():
@@ -164,6 +182,14 @@ def main(argv=None) -> int:
                 failed.append(
                     f"fault cell {name} speedup {speedup:.2f}x < required "
                     f"{args.check:.2f}x"
+                )
+        if "speedup_kernel_over_numpy" in entry:
+            kernel = entry["speedup_kernel_over_numpy"]
+            line += f"   kernel {kernel:.2f}x"
+            if args.check is not None and kernel < args.check:
+                failed.append(
+                    f"fault cell {name} kernel-over-numpy {kernel:.2f}x < "
+                    f"required {args.check:.2f}x"
                 )
         print(line)
 
