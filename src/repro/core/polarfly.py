@@ -14,8 +14,14 @@ The vertex set splits into the quadrics ``W`` (size ``q+1``), the vertices
 adjacent to a quadric ``V1`` (size ``q(q+1)/2``) and the rest ``V2``
 (size ``q(q-1)/2``) — Property 1 of the paper (odd ``q``).
 
-The whole adjacency is built with vectorized GF(q) table gathers; no Python
-loop touches a vertex pair.
+Construction is **sparse**: instead of the O(N^2) all-pairs dot product,
+each vertex enumerates the ``q+1`` points of its *polar line* (the
+projective line of vectors orthogonal to it) directly — O(N*q) work and
+memory, which is what unlocks the q=53/q=79 tier.  The dense all-pairs
+adjacency remains available as :meth:`PolarFly._build_adjacency`, the
+golden oracle the sparse edge list is pinned against in the tests.  All
+arithmetic is vectorized GF(q) table gathers; no Python loop touches a
+vertex pair.
 """
 
 from __future__ import annotations
@@ -76,13 +82,9 @@ class PolarFly(Topology):
         self.q = int(q)
         self.field = GF(q)
         self.vectors = self._generate_vertices()
-        adj = self._build_adjacency()
-        graph = Graph.from_adjacency_matrix(adj)
+        graph = self._build_graph()
         super().__init__(f"PF(q={q})", graph, concentration)
-        self._index = {
-            tuple(int(c) for c in vec): i for i, vec in enumerate(self.vectors)
-        }
-        self._classify_vertices(adj)
+        self._classify_vertices(graph)
 
     # ------------------------------------------------------------------
     # Construction
@@ -104,11 +106,55 @@ class PolarFly(Topology):
         block3 = np.array([[0, 0, 1]], dtype=np.int64)
         return np.vstack([block1, block2, block3])
 
-    def _build_adjacency(self) -> np.ndarray:
-        """Boolean adjacency: dot(v, w) == 0, diagonal cleared.
+    def _vertex_codes(self, normalized: np.ndarray) -> np.ndarray:
+        """Closed-form vertex index of left-normalized vectors.
 
-        One broadcasted field-dot over all N^2 pairs (three table gathers
-        plus two adds) — the hot loop of construction, fully vectorized.
+        Inverts the :meth:`_generate_vertices` ordering without a lookup
+        table: ``[1, y, z] -> y*q + z``, ``[0, 1, z] -> q^2 + z``,
+        ``[0, 0, 1] -> q^2 + q``.  Vectorized over leading axes.
+        """
+        q = self.q
+        a, b, c = normalized[..., 0], normalized[..., 1], normalized[..., 2]
+        return np.where(a == 1, b * q + c, np.where(b == 1, q * q + c, q * q + q))
+
+    def _build_graph(self) -> Graph:
+        """Sparse edge list via polar lines — O(N*q) work and memory.
+
+        The neighbors of ``v`` are exactly the points of its polar line
+        ``v^perp = {w : dot(v, w) == 0}`` (minus ``v`` itself when ``v``
+        is a quadric).  A basis of that plane comes from the cross
+        products ``c_i = v x e_i`` with the standard basis vectors: pick
+        ``p1`` as the first nonzero ``c_i`` and ``p2`` as the first
+        ``c_j`` independent of it; the line is ``{p1} ∪ {p2 + t*p1}`` for
+        ``t`` in GF(q) — ``q + 1`` projective points per vertex, no N^2
+        structure anywhere.  Pinned against the dense dot-product oracle
+        (:meth:`_build_adjacency`) by the golden construction tests.
+        """
+        f, v = self.field, self.vectors
+        n = v.shape[0]
+        basis = np.eye(3, dtype=np.int64)
+        c = f.cross(v[:, None, :], basis[None, :, :])  # (N, 3, 3)
+        nz = (c != 0).any(axis=2)
+        i1 = np.argmax(nz, axis=1)
+        p1 = c[np.arange(n), i1]
+        indep = (f.cross(p1[:, None, :], c) != 0).any(axis=2)
+        i2 = np.argmax(indep, axis=1)
+        p2 = c[np.arange(n), i2]
+        t = f.elements()
+        pts = f.add(p2[:, None, :], f.mul(t[None, :, None], p1[:, None, :]))
+        line = np.concatenate([p1[:, None, :], pts], axis=1)  # (N, q+1, 3)
+        nbr = self._vertex_codes(f.left_normalize(line))
+        src = np.repeat(np.arange(n, dtype=np.int64), self.q + 1)
+        dst = nbr.ravel()
+        keep = src != dst  # quadrics lie on their own polar line
+        return Graph(n, np.column_stack([src[keep], dst[keep]]))
+
+    def _build_adjacency(self) -> np.ndarray:
+        """Dense boolean adjacency oracle: dot(v, w) == 0, diagonal cleared.
+
+        One broadcasted field-dot over all N^2 pairs.  Not called on the
+        construction path (see :meth:`_build_graph`); kept as the golden
+        oracle the sparse polar-line edge list is pinned against.
         """
         v = self.vectors
         dots = self.field.dot(v[:, None, :], v[None, :, :])
@@ -116,12 +162,16 @@ class PolarFly(Topology):
         np.fill_diagonal(adj, False)
         return adj
 
-    def _classify_vertices(self, adj: np.ndarray) -> None:
+    def _classify_vertices(self, graph: Graph) -> None:
         v = self.vectors
         self_dots = self.field.dot(v, v)
         self.quadric_mask = self_dots == 0
-        # V1 = non-quadrics adjacent to at least one quadric.
-        touches_quadric = adj[:, self.quadric_mask].any(axis=1)
+        # V1 = non-quadrics adjacent to at least one quadric, found by
+        # scanning the (sparse) edge list rather than a dense adjacency.
+        e = graph.edges()
+        touches_quadric = np.zeros(v.shape[0], dtype=bool)
+        touches_quadric[e[:, 0][self.quadric_mask[e[:, 1]]]] = True
+        touches_quadric[e[:, 1][self.quadric_mask[e[:, 0]]]] = True
         self.v1_mask = touches_quadric & ~self.quadric_mask
         self.v2_mask = ~touches_quadric & ~self.quadric_mask
         self.quadrics = np.flatnonzero(self.quadric_mask)
@@ -134,7 +184,7 @@ class PolarFly(Topology):
     def vertex_index(self, vector) -> int:
         """Index of the vertex for any nonzero vector (normalizes first)."""
         norm = self.field.left_normalize(np.asarray(vector, dtype=np.int64))[0]
-        return self._index[tuple(int(c) for c in norm)]
+        return int(self._vertex_codes(norm))
 
     def vertex_class(self, v: int) -> str:
         """``"W"``, ``"V1"`` or ``"V2"`` for vertex ``v``."""

@@ -33,6 +33,9 @@ __all__ = [
     "HEADLINE_CELL",
     "CONSTRUCTION_SPECS",
     "CONSTRUCTION_GATE",
+    "BASELINE_MAX_ROUTERS",
+    "SCALE_CELLS",
+    "SCALE_ENGINES",
     "WORKLOAD_CELLS",
     "FAULT_CELLS",
     "CLOSED_LOOP_ENGINES",
@@ -40,7 +43,9 @@ __all__ = [
     "bench_workload_cell",
     "bench_fault_cell",
     "bench_construction_spec",
+    "measure_construction_memory",
     "run_construction_benchmarks",
+    "run_scale_benchmarks",
     "run_workload_benchmarks",
     "run_fault_benchmarks",
     "run_benchmarks",
@@ -70,15 +75,46 @@ HEADLINE_CELL = "fig09_pf_ugalpf_uniform"
 
 #: The construction-trajectory topologies: the paper's headline PolarFly
 #: sizes from the q=7 toy (N=57) through the large-radix regime the
-#: batched builders unlock (q=31: N=993, ~1M router pairs).
+#: batched builders unlock (q=31: N=993, ~1M router pairs), plus the
+#: sparse tier — q=53 (N=2863), q=79 (N=6321) and the PolarStar
+#: star-product instance PS(q=11, s=25) (N=3325) — that the O(N^2)-free
+#: structures exist for.
 CONSTRUCTION_SPECS = {
     "pf_q7": "polarfly:conc=2,q=7",
     "pf_q19": "polarfly:conc=2,q=19",
     "pf_q31": "polarfly:conc=2,q=31",
+    "pf_q53": "polarfly:conc=2,q=53",
+    "pf_q79": "polarfly:conc=2,q=79",
+    "ps_q11": "polarstar:conc=2,q=11,sq=25",
 }
 
 #: the construction entry the CI regression gate checks
 CONSTRUCTION_GATE = "pf_q19"
+
+#: Largest router count at which the seed per-source baselines (a
+#: Python BFS loop per source, plus the dense-CSR oracle) are still
+#: cheap enough to time.  Larger specs record batched walls and memory
+#: only, with a ``baseline_skipped`` note — q=31 keeps its baseline, so
+#: the committed speedup trajectory is unbroken.
+BASELINE_MAX_ROUTERS = 1200
+
+#: Scale-tier simulation cells: flat-engine only (the dict-of-deques
+#: reference engine is quadratic-in-spirit at these sizes and is pinned
+#: bit-identical on the small golden cells instead).  Recorded in the
+#: separate ``scale`` section of BENCH_flitsim.json.
+SCALE_CELLS = {
+    "scale_pf_q53_min_uniform": dict(
+        topology="polarfly:conc=2,q=53", policy="min", traffic="uniform",
+        load=0.2,
+    ),
+    "scale_ps_q11_min_uniform": dict(
+        topology="polarstar:conc=2,q=11,sq=25", policy="min",
+        traffic="uniform", load=0.2,
+    ),
+}
+
+#: Engines timed on the scale cells (no reference at these sizes).
+SCALE_ENGINES = ("flat-numpy", "flat")
 
 #: The canonical closed-loop cells: collective completion time is the
 #: workload engine's headline number (the paper-adjacent metric real
@@ -367,17 +403,80 @@ def _timed(fn, *args, repeats: int = 1):
     return result, best
 
 
+def _reset_peak_rss() -> bool:
+    """Reset the process VmHWM high-water mark; False when unsupported."""
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+        return True
+    except OSError:
+        return False
+
+
+def _peak_rss_kb() -> "int | None":
+    """Current VmHWM (peak resident set) in KiB, or None off-Linux."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return None
+
+
+def measure_construction_memory(spec: str) -> dict:
+    """Peak memory of one full construction (topology through fabric).
+
+    Two complementary numbers: the tracemalloc *traced* peak (exact
+    Python-side allocation high-water mark, machine-independent) and —
+    where ``/proc`` supports resetting ``VmHWM`` — the process peak-RSS
+    delta-capable counter, which also sees numpy's buffer reuse.  Run
+    *after* the timing pass: tracemalloc taxes every allocation.
+    """
+    import tracemalloc
+
+    from repro.flitsim.flatcore import FlatFabric
+    from repro.routing.tables import RoutingTables
+
+    rss_ok = _reset_peak_rss()
+    tracemalloc.start()
+    try:
+        topo = TOPOLOGIES.create(spec)
+        tables = RoutingTables(topo)
+        fabric = FlatFabric(topo)
+        if tables._path_cache_enabled():
+            tables._unique_path_cache()
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    entry = {
+        "traced_peak_bytes": int(peak),
+        "traced_current_bytes": int(current),
+        "dist_bytes": int(np.asarray(tables.dist).nbytes),
+        "candidate_table_bytes": int(tables._candidate_table().nbytes()),
+    }
+    rss = _peak_rss_kb() if rss_ok else None
+    if rss is not None:
+        entry["peak_rss_kb"] = rss
+    del topo, tables, fabric
+    return entry
+
+
 def bench_construction_spec(
-    spec: str, baseline: bool = True, repeats: int = 1
+    spec: str, baseline: bool = True, repeats: int = 1, memory: bool = True
 ) -> dict:
     """Time the construction path of one topology spec.
 
     Measures the batched builders — topology construction,
-    :class:`RoutingTables` (one batched all-sources BFS), the vectorized
-    candidate CSR, the unique-path cache (when enabled), and
-    :class:`FlatFabric` — and, with ``baseline``, the seed per-source
+    :class:`RoutingTables` (one fused batched all-sources BFS), the
+    compact candidate table, the unique-path cache (when enabled), and
+    :class:`FlatFabric` — and, with ``baseline`` (auto-skipped above
+    :data:`BASELINE_MAX_ROUTERS` routers), the seed per-source
     equivalents (``bfs_distances_reference`` per source,
-    :func:`per_source_candidate_csr`), recording the speedups.
+    :func:`per_source_candidate_csr` with the dense-CSR
+    materialization), recording the speedups.  ``memory`` appends a
+    :func:`measure_construction_memory` pass.
     """
     from repro.flitsim.flatcore import FlatFabric
     from repro.routing.tables import RoutingTables, per_source_candidate_csr
@@ -386,15 +485,16 @@ def bench_construction_spec(
     topo, topo_s = _timed(lambda: TOPOLOGIES.create(spec), repeats=repeats)
     tables, tables_s = _timed(lambda: RoutingTables(topo), repeats=repeats)
 
-    def fresh_csr():
-        # Reset the lazy CSR instead of rebuilding the whole table —
-        # times the identical code path without re-paying the BFS.
-        tables._min_hop_csr = None
+    def fresh_table():
+        # Reset the lazy compact table instead of rebuilding the whole
+        # tables object — times the derive-from-dist path (the fault
+        # repair path) without re-paying the BFS.
+        tables._cands = None
         start = time.perf_counter()
-        tables._candidate_csr()
+        tables._candidate_table()
         return time.perf_counter() - start
 
-    csr_s = min(fresh_csr() for _ in range(repeats))
+    table_s = min(fresh_table() for _ in range(repeats))
     _, fabric_s = _timed(lambda: FlatFabric(topo), repeats=repeats)
 
     entry = {
@@ -403,14 +503,24 @@ def bench_construction_spec(
         "num_links": topo.num_links,
         "topology_s": topo_s,
         "routing_tables": {"batched_s": tables_s},
-        "candidate_csr": {"batched_s": csr_s},
+        "candidate_table": {
+            "batched_s": table_s,
+            "nbytes": int(tables._candidate_table().nbytes()),
+        },
         "fabric_s": fabric_s,
     }
     if tables._path_cache_enabled():
-        # The CSR is already built (fresh_csr's last pass), so this
-        # times the cache walk alone, not the CSR build again.
+        # The candidate table is already built (fresh_table's last
+        # pass), so this times the cache walk alone.
         _, cache_s = _timed(tables._unique_path_cache, repeats=1)
         entry["path_cache_s"] = cache_s
+    if baseline and topo.num_routers > BASELINE_MAX_ROUTERS:
+        baseline = False
+        entry["baseline_skipped"] = (
+            f"num_routers > {BASELINE_MAX_ROUTERS}: the per-source Python "
+            "BFS loop and dense-CSR oracle are deliberately not run at "
+            "sparse-tier sizes"
+        )
     if baseline:
         graph = topo.graph
 
@@ -424,23 +534,68 @@ def bench_construction_spec(
         rt = entry["routing_tables"]
         rt["per_source_s"] = per_source_s
         rt["speedup_batched_over_per_source"] = per_source_s / tables_s
+
+        def fresh_csr():
+            # The dense-CSR oracle comparison: compact table build plus
+            # the O(n^2) indptr materialization, matching what the
+            # per-source baseline produces.
+            tables._cands = None
+            start = time.perf_counter()
+            tables._candidate_csr()
+            return time.perf_counter() - start
+
+        csr_s = min(fresh_csr() for _ in range(repeats))
         _, csr_ps = _timed(
             per_source_candidate_csr, graph, tables.dist, repeats=repeats
         )
-        cc = entry["candidate_csr"]
-        cc["per_source_s"] = csr_ps
-        cc["speedup_batched_over_per_source"] = csr_ps / csr_s
+        entry["candidate_csr"] = {
+            "batched_s": csr_s,
+            "per_source_s": csr_ps,
+            "speedup_batched_over_per_source": csr_ps / csr_s,
+        }
+    if memory:
+        del tables
+        entry["memory"] = measure_construction_memory(spec)
     return entry
 
 
 def run_construction_benchmarks(
-    specs: "dict | None" = None, baseline: bool = True, repeats: int = 2
+    specs: "dict | None" = None,
+    baseline: bool = True,
+    repeats: int = 2,
+    memory: bool = True,
 ) -> dict:
     """The ``construction`` section of ``BENCH_flitsim.json``."""
     specs = CONSTRUCTION_SPECS if specs is None else specs
     return {
-        name: bench_construction_spec(spec, baseline=baseline, repeats=repeats)
+        name: bench_construction_spec(
+            spec, baseline=baseline, repeats=repeats, memory=memory
+        )
         for name, spec in specs.items()
+    }
+
+
+def run_scale_benchmarks(
+    cells: "dict | None" = None,
+    warmup: int = 100,
+    measure: int = 300,
+    seed: int = 1,
+    engines=SCALE_ENGINES,
+) -> dict:
+    """The ``scale`` section of ``BENCH_flitsim.json``.
+
+    Flat-engine-only open-loop cells on the sparse-tier fabrics (no
+    reference engine at these sizes; bit-identity is pinned on the small
+    golden suites instead).  Records the kernel-over-numpy speedup per
+    cell when a compiler is available.
+    """
+    cells = SCALE_CELLS if cells is None else cells
+    return {
+        name: bench_cell(
+            cell, warmup=warmup, measure=measure, seed=seed,
+            engines=_resolve_engines(engines) or ("flat",),
+        )
+        for name, cell in cells.items()
     }
 
 
@@ -453,6 +608,7 @@ def run_benchmarks(
     construction: bool = True,
     workloads: bool = True,
     faults: bool = True,
+    scale: bool = True,
 ) -> dict:
     """Run every cell and assemble the ``BENCH_flitsim.json`` document."""
     cells = CANONICAL_CELLS if cells is None else cells
@@ -478,6 +634,8 @@ def run_benchmarks(
         )
     if construction:
         doc["construction"] = run_construction_benchmarks()
+    if scale:
+        doc["scale"] = run_scale_benchmarks(seed=seed)
     return doc
 
 

@@ -65,7 +65,9 @@ typedef struct {
     int64_t n, E, I, O, OE, Dp, V, ps, hop_latency, stride;
     int64_t fault_mode;
     int64_t *deg, *ports, *conc;
-    int64_t *nbr, *rev, *port_mat;
+    int64_t *nbr;
+    int16_t *rev;
+    int64_t *adj_indptr, *adj_indices;
     int64_t *ep_router, *ep_inport, *ep_off;
     int64_t *voq_head, *voq_tail, *voq_count, *backlog, *rr, *credits;
     int64_t *pool_pid, *pool_seq, *pool_hop, *pool_ready, *pool_next;
@@ -113,6 +115,23 @@ static void drop_flit(SimState *st, int64_t f)
     st->free_stack[(*st->free_top)++] = f;
     if (--st->pkt_live[pid] == 0)
         st->pkt_free[(*st->pkt_free_top)++] = pid;
+}
+
+/* Output port of router r toward adjacent vertex v: the offset of v in
+ * r's sorted CSR neighbor slice (binary search over adj_indices).  The
+ * CSR port map replaces the former dense n*n port matrix; callers only
+ * pass genuinely adjacent (r, v) pairs. */
+static int64_t port_of(const SimState *st, int64_t r, int64_t v)
+{
+    int64_t lo = st->adj_indptr[r], hi = st->adj_indptr[r + 1];
+    while (lo < hi) {
+        int64_t mid = lo + (hi - lo) / 2;
+        if (st->adj_indices[mid] < v)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo - st->adj_indptr[r];
 }
 
 /* Append flit f to VOQ vq (row = router*O + out for the backlog). */
@@ -170,7 +189,7 @@ void kinject(SimState *st, int64_t now, int64_t k,
 void kfeed(SimState *st, int64_t now)
 {
     (void)now;
-    int64_t I = st->I, O = st->O, OE = st->OE, n = st->n;
+    int64_t I = st->I, O = st->O, OE = st->OE;
     int64_t fm = st->fault_mode;
     for (int64_t e = 0; e < st->E; e++) {
         int64_t f = st->src_head[e];
@@ -182,7 +201,7 @@ void kfeed(SimState *st, int64_t now)
         if (st->pkt_len[pid] == 1)
             out = OE;
         else
-            out = st->port_mat[r * n + st->route_buf[pid * st->stride + 1]];
+            out = port_of(st, r, st->route_buf[pid * st->stride + 1]);
         if (fm && st->dead_row[r * O + out]) {
             st->src_head[e] = st->pool_next[f];
             if (st->src_head[e] < 0)
@@ -272,7 +291,7 @@ int64_t kroute(SimState *st, int64_t now, int64_t *n_ejected)
         int64_t off = pid * st->stride;
         if (in < st->deg[r]) {
             int64_t up = st->route_buf[off + hop - 1];
-            int64_t upp = st->port_mat[up * n + r];
+            int64_t upp = port_of(st, up, r);
             int64_t vc = hop - 1;
             if (vc > V - 1)
                 vc = V - 1;
@@ -304,7 +323,7 @@ int64_t kroute(SimState *st, int64_t now, int64_t *n_ejected)
             if (nxt == st->pkt_dst[pid])
                 out2 = OE;
             else
-                out2 = st->port_mat[nxt * n + st->route_buf[off + hop + 2]];
+                out2 = port_of(st, nxt, st->route_buf[off + hop + 2]);
             if (fm && st->dead_row[nxt * O + out2]) {
                 /* Dead output at the next router: the flit evaporates
                  * on the wire, in grant order, and the credit toward

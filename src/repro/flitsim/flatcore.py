@@ -25,10 +25,11 @@ queued flit:
 * **Congestion view** — ``output_occupancy`` is an O(1) read of the
   incrementally maintained per-output backlog counters plus credit debt.
 
-The topology-dependent port maps are memoized per topology object in
+The topology-dependent port geometry (a CSR port map — O(E), not the
+seed's dense O(N^2) matrix) is memoized per topology object in
 :func:`fabric_for`, so sweep workers that simulate many cells on one
 topology (the runner's per-process topology memo keeps the object alive)
-pay the dense-matrix construction once.
+pay its construction once.
 
 Results are bit-identical to :class:`repro.flitsim.reference.NetworkSimulator`
 for the same seed — pinned by ``tests/test_flitsim_equivalence.py``.
@@ -64,10 +65,19 @@ _PKT_CAP = 1024
 
 
 class FlatFabric:
-    """Dense, config-independent port geometry of one topology.
+    """Sparse, config-independent port geometry of one topology.
 
     Shared by every :class:`FlatSimulator` on the same topology object
     (see :func:`fabric_for`); everything here is read-only after build.
+
+    The output port of ``u`` toward adjacent ``v`` is ``v``'s offset in
+    ``u``'s sorted CSR neighbor slice, answered by a searchsorted over
+    precomputed global edge keys (:meth:`ports_toward`) instead of the
+    seed's dense O(N^2) ``port_mat`` — at q=79 (N=6321) that matrix
+    alone was 320 MB; the CSR port map is O(E).  The congestion view
+    (`output_occupancy`) reads ports through the same lookup, so the
+    whole per-cycle state stays O(N x radix).  Port ids fit int16
+    (radix << 2^15), which halves the gather traffic on ``rev_mat``.
     """
 
     def __init__(self, topo: Topology):
@@ -77,6 +87,8 @@ class FlatFabric:
         conc = np.asarray(topo.concentration, dtype=np.int64)
         D = int(deg.max()) if n else 0
         C = int(conc.max()) if n else 0
+        if D >= np.iinfo(np.int16).max:
+            raise ValueError(f"router radix {D} exceeds int16 port ids")
 
         self.n = n
         self.deg = deg
@@ -91,22 +103,31 @@ class FlatFabric:
 
         cols = max(D, 1)
         self.nbr_mat = np.full((n, cols), -1, dtype=np.int64)
-        self.rev_mat = np.full((n, cols), -1, dtype=np.int64)
-        #: port_mat[u, v] = output port of u toward v (-1 if not adjacent)
-        self.port_mat = np.full((n, n), -1, dtype=np.int64)
-        # One scatter over the directed edge list (the CSR itself) fills
-        # all three tables: directed edge e leaves router src_e through
-        # its port_e-th CSR slot toward indices[e], and the reverse port
-        # is a second gather through the freshly built port_mat.
+        self.rev_mat = np.full((n, cols), -1, dtype=np.int16)
+        # CSR port map: neighbor slices are sorted, so the port of u
+        # toward v is searchsorted position of key u*n+v among the
+        # directed-edge keys (strictly increasing in CSR order) minus
+        # u's slice start.  The C kernel runs the same lookup as a
+        # per-row binary search over the bound indptr/indices.
+        self.adj_indptr = graph.indptr
+        self.adj_indices = graph.indices
         indptr, indices = graph.indptr, graph.indices
         if indices.size:
             src_e = np.repeat(np.arange(n, dtype=np.int64), deg)
+            self.edge_keys = src_e * n + indices
             port_e = np.arange(indices.size, dtype=np.int64) - np.repeat(
                 indptr[:-1], deg
             )
             self.nbr_mat[src_e, port_e] = indices
-            self.port_mat[src_e, indices] = port_e
-            self.rev_mat[src_e, port_e] = self.port_mat[indices, src_e]
+            # Reverse port of directed edge (u -> v) = port of v toward
+            # u, one searchsorted over the mirrored keys.
+            rev_port = (
+                np.searchsorted(self.edge_keys, indices * n + src_e)
+                - indptr[indices]
+            )
+            self.rev_mat[src_e, port_e] = rev_port.astype(np.int16)
+        else:
+            self.edge_keys = np.empty(0, dtype=np.int64)
 
         self.E = topo.num_endpoints
         self.ep_router = np.asarray(topo.endpoint_routers, dtype=np.int64)
@@ -116,6 +137,22 @@ class FlatFabric:
         )
         #: dense VOQ count: (router, in_port, out_port) triples
         self.NV = n * self.I * self.O
+
+    def ports_toward(self, routers, next_hops) -> np.ndarray:
+        """Output ports of ``routers`` toward adjacent ``next_hops``.
+
+        One vectorized searchsorted over the global edge keys; callers
+        guarantee adjacency (non-adjacent queries return an in-range but
+        meaningless port, like the old dense matrix returned -1 — no
+        caller ever used a non-adjacent lookup's value).
+        """
+        routers = np.asarray(routers, dtype=np.int64)
+        keys = routers * self.n + np.asarray(next_hops, dtype=np.int64)
+        return np.searchsorted(self.edge_keys, keys) - self.adj_indptr[routers]
+
+    def port_toward(self, router: int, next_hop: int) -> int:
+        """Scalar :meth:`ports_toward` for the event-time (cold) paths."""
+        return int(self.ports_toward(router, next_hop))
 
 
 _FABRIC_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
@@ -273,7 +310,7 @@ class FlatSimulator(SimulatorCore):
     # ------------------------------------------------------------------
     def output_occupancy(self, router: int, next_hop: int) -> int:
         """O(1) UGAL-L signal: credit debt + maintained VOQ backlog."""
-        port = self.fab.port_mat[router, next_hop]
+        port = self.fab.port_toward(router, next_hop)
         return int(
             self.config.vc_depth
             - self.credits[router, port, 0]
@@ -283,7 +320,7 @@ class FlatSimulator(SimulatorCore):
     def output_occupancies(self, routers, next_hops) -> np.ndarray:
         """Vectorized occupancy reads for batched route selection."""
         fab = self.fab
-        ports = fab.port_mat[routers, next_hops]
+        ports = fab.ports_toward(routers, next_hops)
         return (
             self.config.vc_depth
             - self.credits[routers, ports, 0]
@@ -344,8 +381,10 @@ class FlatSimulator(SimulatorCore):
         st.hop_latency = self._hop_latency
         st.stride = self.route_stride
         st.deg, st.ports, st.conc = ptr(fab.deg), ptr(fab.P_arr), ptr(fab.conc)
-        st.nbr, st.rev = ptr(fab.nbr_mat), ptr(fab.rev_mat)
-        st.port_mat = ptr(fab.port_mat)
+        st.nbr = ptr(fab.nbr_mat)
+        st.rev = bind(fab.rev_mat, np.int16, "int16_t[]")
+        st.adj_indptr = ptr(fab.adj_indptr)
+        st.adj_indices = ptr(fab.adj_indices)
         st.ep_router, st.ep_inport = ptr(fab.ep_router), ptr(fab.ep_inport)
         st.ep_off = ptr(fab.ep_off)
         st.voq_head, st.voq_tail = ptr(self.voq_head), ptr(self.voq_tail)
@@ -666,9 +705,9 @@ class FlatSimulator(SimulatorCore):
         pid = self.pool_pid[flits]
         out = np.full(ids.size, fab.OE, dtype=np.int64)
         multi = self.pkt_len[pid] > 1
-        out[multi] = fab.port_mat[
+        out[multi] = fab.ports_toward(
             routers[multi], self.route_buf[pid[multi] * self.route_stride + 1]
-        ]
+        )
         vq = (routers * fab.I + fab.ep_inport[ids]) * fab.O + out
         self._enqueue(vq, flits, routers, out)
 
@@ -690,9 +729,9 @@ class FlatSimulator(SimulatorCore):
         routers = fab.ep_router[cand]
         out = np.full(cand.size, fab.OE, dtype=np.int64)
         multi = self.pkt_len[pid] > 1
-        out[multi] = fab.port_mat[
+        out[multi] = fab.ports_toward(
             routers[multi], self.route_buf[pid[multi] * self.route_stride + 1]
-        ]
+        )
         doomed = self.dead_row[routers * fab.O + out]
         move = doomed | (self.ep_credit[cand] > 0)
         if not move.any():
@@ -806,7 +845,7 @@ class FlatSimulator(SimulatorCore):
         li = np.flatnonzero(from_link)
         if li.size:
             upstream = self.route_buf[off_w[li] + hop_w[li] - 1]
-            up_port = fab.port_mat[upstream, r_w[li]]
+            up_port = fab.ports_toward(upstream, r_w[li])
             vc = np.minimum(hop_w[li] - 1, V - 1)
             np.add.at(self.credits, (upstream, up_port, vc), 1)
         ii = np.flatnonzero(~from_link)
@@ -826,10 +865,13 @@ class FlatSimulator(SimulatorCore):
             hop2 = hop_f + 1
             pid_f = pid_w[fwd]
             pos = off_w[fwd] + np.minimum(hop2 + 1, self.pkt_len[pid_f] - 1)
+            # The non-destination branch is evaluated for every row (as
+            # np.where always did); destination rows get an in-range but
+            # meaningless port that the OE branch discards.
             out_next = np.where(
                 nxt_r == self.pkt_dst[pid_f],
                 OE,
-                fab.port_mat[nxt_r, self.route_buf[pos]],
+                fab.ports_toward(nxt_r, self.route_buf[pos]),
             )
             if self._fault is not None:
                 doomed = self.dead_row[nxt_r * O + out_next]
@@ -942,7 +984,7 @@ class FlatSimulator(SimulatorCore):
             deg = int(fab.deg[r])
             if in_port < deg:
                 upstream = int(fab.nbr_mat[r, in_port])
-                up_port = int(fab.port_mat[upstream, r])
+                up_port = fab.port_toward(upstream, r)
                 vcs = np.minimum(
                     self.pool_hop[rows] - 1, self.config.num_vcs - 1
                 )
@@ -959,7 +1001,7 @@ class FlatSimulator(SimulatorCore):
         self._fault.note_mark(self.now, len(self._stat.latencies))
         for u, v in delta.down_links:
             for r, nbr in ((u, v), (v, u)):
-                p = int(fab.port_mat[r, nbr])
+                p = fab.port_toward(r, nbr)
                 # Rule 1: nothing may travel toward the dead link.
                 for in_port in range(int(fab.P_arr[r])):
                     self._drop_vq(r, in_port, p, return_credit=True)
@@ -988,7 +1030,7 @@ class FlatSimulator(SimulatorCore):
             self.dead_row[r * fab.O + fab.OE] = True
         for u, v in delta.up_links:
             for r, nbr in ((u, v), (v, u)):
-                p = int(fab.port_mat[r, nbr])
+                p = fab.port_toward(r, nbr)
                 # Death emptied the downstream input buffer, so full
                 # depth is exact — credit conservation holds.
                 self.credits[r, p, :] = depth

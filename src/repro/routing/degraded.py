@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.routing.tables import RoutingTables
+from repro.routing.tables import RoutingTables, RowPatchedDist
 from repro.topologies.base import Topology
 
 __all__ = ["degraded_topology", "reroute_after_failures", "fault_epoch_tables"]
@@ -66,20 +66,37 @@ def _incremental_tables(
     failed: np.ndarray,
     alive: "np.ndarray | None" = None,
 ) -> RoutingTables:
-    """Repair ``base`` for ``degraded``: recompute only perturbed rows."""
+    """Repair ``base`` for ``degraded``: recompute only perturbed rows.
+
+    The repaired matrix is a :class:`RowPatchedDist` view — the intact
+    base matrix shared read-only plus a dense block holding just the
+    recomputed rows — so a fault epoch costs O(affected x n) memory, not
+    O(n^2).  When ``base`` itself carries a patched view (chained
+    repairs), it is materialized first; patches never stack.
+    """
     dist = base.dist
+    if isinstance(dist, RowPatchedDist):
+        dist = dist.dense()
     if failed.size:
         touched = dist[:, failed[:, 0]] != dist[:, failed[:, 1]]
         affected = np.flatnonzero(touched.any(axis=1))
     else:
         affected = np.empty(0, dtype=np.int64)
-    new_dist = dist.copy()
     if affected.size:
-        new_dist[affected] = degraded.graph.all_pairs_distances(
-            affected, dtype=np.int16
-        )
-    if alive is None and bool((new_dist < 0).any()):
-        raise ValueError("failures disconnect the network")
+        patch = degraded.graph.all_pairs_distances(affected, dtype=np.int16)
+        # Unaffected rows are provably identical on the degraded graph,
+        # so any new disconnection must surface in the patch block.
+        if alive is None and bool((patch < 0).any()):
+            raise ValueError("failures disconnect the network")
+        if affected.size < dist.shape[0]:
+            new_dist = RowPatchedDist(dist, affected, patch)
+        else:
+            new_dist = dist.copy()
+            new_dist[affected] = patch
+    else:
+        # No row touched a failed edge: the base matrix is exact and can
+        # be shared as-is (RoutingTables never mutates its dist).
+        new_dist = dist
     return RoutingTables.from_distances(
         degraded, new_dist, path_cache=base._path_cache_opt, alive=alive
     )

@@ -4,17 +4,26 @@ The paper notes table-based routing is the method of choice for ER graphs
 (Section IV-D); the same tables also serve every baseline topology.  The
 distance matrix comes from one level-synchronous *batched* BFS over every
 source simultaneously (:meth:`repro.utils.graph.Graph.all_pairs_distances`)
-and is stored as int16 (N x N); the minimal-next-hop candidate CSR is
-built in a single vectorized pass over the directed edge set.  Both are
-pinned bit-identical to the seed per-source builds by golden tests, so
-large-radix networks (q=31, N=993, ~1M pairs) construct in milliseconds
-instead of minutes without changing a single routed path.
+and is stored as int16 (N x N); the minimal-next-hop candidates fall out
+of the same BFS frontier expansion (the shortest-path DAG edges are
+exactly the fresh discoveries at each level) and land in a compact table
+— a per-pair count byte, a narrow lowest-id ``first`` hop, and an
+overflow CSR holding only the pairs with an ECMP tie — instead of the
+seed's dense ``n*n + 1`` int64 ``indptr``.  All of it is pinned
+bit-identical to the seed per-source builds by golden tests, so
+large-radix networks (q=79, N=6321, ~40M pairs) construct in seconds and
+~200 MB instead of minutes and ~1 GB without changing a single routed
+path.
 
-Path buffers are int32 — router ids are tiny, and halving the candidate
-CSR plus the dense unique-path cache is what lets the cache stay enabled
-at production scale.  The cache itself is memory-capped
-(``$REPRO_PATH_CACHE_MB``, default 256) and can be disabled outright
-(``$REPRO_PATH_CACHE=0`` or ``path_cache=False``).
+Path buffers are int32; the unique-path cache stores int16 entries when
+router ids fit and streams its build in row chunks, so enabling it never
+allocates more than its steady-state footprint.  The cache is
+memory-capped (``$REPRO_PATH_CACHE_MB``, default 256) and can be disabled
+outright (``$REPRO_PATH_CACHE=0`` or ``path_cache=False``).
+
+Fault-epoch tables wrap the intact distance matrix in
+:class:`RowPatchedDist` — only the BFS rows a failure actually changed
+are stored densely.
 """
 
 from __future__ import annotations
@@ -28,18 +37,276 @@ from repro.utils.rng import make_rng
 
 __all__ = [
     "RoutingTables",
+    "RowPatchedDist",
     "per_source_candidate_csr",
     "PATH_CACHE_ENV",
     "PATH_CACHE_MB_ENV",
 ]
 
-#: set to ``0`` to disable the dense unique-path cache entirely
+#: set to ``0`` to disable the unique-path cache entirely
 PATH_CACHE_ENV = "REPRO_PATH_CACHE"
 
 #: memory budget (MiB) the unique-path cache must fit under to be built
 PATH_CACHE_MB_ENV = "REPRO_PATH_CACHE_MB"
 
 _PATH_CACHE_DEFAULT_MB = 256.0
+
+#: pair-entry bound per chunk of the streamed unique-path cache build
+_PATH_CHUNK_ENTRIES = 1 << 20
+
+
+def _value_dtype(n: int):
+    """Narrowest signed dtype holding router ids ``0..n-1`` (and -1)."""
+    return np.int16 if n <= np.iinfo(np.int16).max else np.int32
+
+
+def _count_dtype(max_degree: int):
+    """Narrowest unsigned dtype holding per-pair candidate counts."""
+    if max_degree < 2**8:
+        return np.uint8
+    if max_degree < 2**16:
+        return np.uint16
+    return np.uint32
+
+
+def _scatter_sorted_run(pair_s, hop_s, count, first):
+    """Scatter one pair-sorted candidate run into ``count``/``first``.
+
+    ``pair_s`` must be sorted ascending with equal pairs holding their
+    candidate hops in ascending id order (``hop_s`` aligned).  Pairs in
+    one run must be disjoint from pairs scattered by other runs.
+    Returns the overflow ``(pairs, sizes, data)`` for pairs with two or
+    more candidates, or None when every pair in the run is unique.
+    """
+    if pair_s.size == 0:
+        return None
+    head = np.empty(pair_s.size, dtype=bool)
+    head[0] = True
+    np.not_equal(pair_s[1:], pair_s[:-1], out=head[1:])
+    starts = np.flatnonzero(head)
+    sizes = np.diff(np.append(starts, pair_s.size))
+    keys = pair_s[starts]
+    count[keys] = sizes.astype(count.dtype)
+    first[keys] = hop_s[starts]
+    multi = sizes >= 2
+    if not multi.any():
+        return None
+    return keys[multi], sizes[multi], hop_s[np.repeat(multi, sizes)]
+
+
+class _CandidateTable:
+    """Compact minimal-next-hop candidates over all ``(src, dst)`` pairs.
+
+    Three flat pieces replace the seed's dense CSR (whose ``n*n + 1``
+    int64 ``indptr`` alone is 320 MB at q=79):
+
+    - ``count``: candidates per pair (uint8 for any realistic radix),
+    - ``first``: the lowest-id candidate per pair (int16 when router
+      ids fit; -1 for unset/unreachable pairs),
+    - an overflow CSR (``multi_pairs`` sorted int64 keys,
+      ``multi_indptr``, ``multi_data``) listing *all* candidates, in
+      ascending id order, only for the pairs with an ECMP tie.
+
+    Deterministic serving reads ``first``; tie-breaking draws an index
+    and only touches the overflow CSR for nonzero picks, so the RNG
+    stream and every served hop are bit-identical to the dense layout's.
+    """
+
+    __slots__ = ("n", "count", "first", "multi_pairs", "multi_indptr", "multi_data")
+
+    def __init__(self, n, count, first, parts):
+        self.n = int(n)
+        self.count = count
+        self.first = first
+        parts = [p for p in parts if p is not None]
+        if parts:
+            mp = np.concatenate([p[0] for p in parts])
+            mc = np.concatenate([p[1] for p in parts])
+            md = np.concatenate([p[2] for p in parts])
+            # Runs cover disjoint pair sets but interleave globally (the
+            # fused build scatters one BFS source block at a time), so
+            # merge by one argsort over the tied pairs only.
+            order = np.argsort(mp, kind="stable")
+            old_starts = (np.cumsum(mc) - mc)[order]
+            sizes = mc[order]
+            indptr = np.zeros(sizes.size + 1, dtype=np.int64)
+            np.cumsum(sizes, out=indptr[1:])
+            within = np.arange(md.size, dtype=np.int64) - np.repeat(
+                indptr[:-1], sizes
+            )
+            self.multi_pairs = mp[order]
+            self.multi_indptr = indptr
+            self.multi_data = md[np.repeat(old_starts, sizes) + within]
+        else:
+            self.multi_pairs = np.empty(0, dtype=np.int64)
+            self.multi_indptr = np.zeros(1, dtype=np.int64)
+            self.multi_data = np.empty(0, dtype=first.dtype)
+
+    def next_hops(self, pairs, rng=None) -> np.ndarray:
+        """One candidate per pair key, int64.
+
+        Deterministic mode returns ``first``.  With ``rng``, a uniform
+        index is drawn per tied pair (one vectorized ``integers`` call
+        over int64 counts — the exact draw the dense CSR path made) and
+        nonzero picks are resolved through the overflow CSR.
+        """
+        nxt = self.first[pairs].astype(np.int64)
+        if rng is not None:
+            cnt = self.count[pairs]
+            multi = np.flatnonzero(cnt > 1)
+            if multi.size:
+                pick = rng.integers(cnt[multi].astype(np.int64))
+                pos = np.flatnonzero(pick > 0)
+                if pos.size:
+                    sel = multi[pos]
+                    mi = np.searchsorted(self.multi_pairs, pairs[sel])
+                    nxt[sel] = self.multi_data[
+                        self.multi_indptr[mi] + pick[pos]
+                    ]
+        return nxt
+
+    def dense_csr(self) -> tuple:
+        """Materialize the seed-shaped dense ``(indptr, data)`` CSR.
+
+        Only tests and oracle comparisons call this — it allocates the
+        O(n^2) ``indptr`` the compact layout exists to avoid.
+        """
+        n = self.n
+        indptr = np.zeros(n * n + 1, dtype=np.int64)
+        np.cumsum(self.count, dtype=np.int64, out=indptr[1:])
+        data = np.empty(int(indptr[-1]), dtype=np.int32)
+        single = np.flatnonzero(self.count == 1)
+        data[indptr[single]] = self.first[single]
+        if self.multi_pairs.size:
+            sizes = np.diff(self.multi_indptr)
+            dest = np.repeat(indptr[self.multi_pairs], sizes) + (
+                np.arange(self.multi_data.size, dtype=np.int64)
+                - np.repeat(self.multi_indptr[:-1], sizes)
+            )
+            data[dest] = self.multi_data
+        return indptr, data
+
+    def nbytes(self) -> int:
+        """Total bytes across the table's arrays (for perf reporting)."""
+        return sum(
+            a.nbytes
+            for a in (
+                self.count,
+                self.first,
+                self.multi_pairs,
+                self.multi_indptr,
+                self.multi_data,
+            )
+        )
+
+
+class RowPatchedDist:
+    """Row-sparse view of a fault-patched distance matrix.
+
+    Incremental repair after a failure recomputes only the BFS rows the
+    failure could have changed; this wraps the intact base matrix plus
+    that patch block without materializing a dense copy per fault epoch.
+    It implements exactly the indexing surface the routing/policy/fault
+    layers use — pair gathers ``d[srcs, dsts]``, row and column gathers,
+    ``np.ix_`` blocks, ``max()``, ``astype``, ``np.asarray`` — and
+    anything fancier should materialize through ``np.asarray`` first.
+    The base is never written.
+    """
+
+    __slots__ = ("base", "rows", "patch", "shape", "dtype", "_row_of", "_max")
+
+    def __init__(self, base, rows, patch):
+        self.base = np.asarray(base)
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.patch = np.asarray(patch)
+        self.shape = self.base.shape
+        self.dtype = self.base.dtype
+        self._row_of = np.full(self.shape[0], -1, dtype=np.int64)
+        self._row_of[self.rows] = np.arange(self.rows.size, dtype=np.int64)
+        self._max = None
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    def dense(self) -> np.ndarray:
+        out = self.base.copy()
+        if self.rows.size:
+            out[self.rows] = self.patch
+        return out
+
+    def __array__(self, dtype=None, copy=None):
+        out = self.dense()
+        if dtype is not None:
+            out = out.astype(dtype, copy=False)
+        return out
+
+    def astype(self, dtype, copy=True) -> np.ndarray:
+        return self.dense().astype(dtype, copy=False)
+
+    def copy(self) -> np.ndarray:
+        return self.dense()
+
+    def max(self):
+        if self._max is None:
+            # Axis-wise max reads the base without an n^2 copy.
+            row_max = self.base.max(axis=1)
+            best = []
+            if self.rows.size:
+                best.append(self.patch.max())
+                keep = np.ones(self.shape[0], dtype=bool)
+                keep[self.rows] = False
+                if keep.any():
+                    best.append(row_max[keep].max())
+            else:
+                best.append(row_max.max())
+            self._max = int(max(int(b) for b in best))
+        return self._max
+
+    def _take_rows(self, i):
+        if isinstance(i, (int, np.integer)):
+            p = int(self._row_of[i])
+            return self.patch[p] if p >= 0 else self.base[i]
+        i = np.asarray(i)
+        if i.dtype == bool:
+            i = np.flatnonzero(i)
+        out = self.base[i]
+        pi = self._row_of[i]
+        m = pi >= 0
+        if m.any():
+            out[m] = self.patch[pi[m]]
+        return out
+
+    def _take_pairs(self, i, j):
+        out = self.base[i, j]
+        pi = self._row_of[i]
+        if out.ndim == 0:
+            p = int(pi)
+            return self.patch[p, j] if p >= 0 else out
+        bi, bj = np.broadcast_arrays(pi, np.asarray(j))
+        m = bi >= 0
+        if m.any():
+            out[m] = self.patch[bi[m], bj[m]]
+        return out
+
+    def __getitem__(self, key):
+        if isinstance(key, tuple) and len(key) == 2:
+            i, j = key
+            i_slice = isinstance(i, slice)
+            j_slice = isinstance(j, slice)
+            if not i_slice and j_slice and j == slice(None):
+                return self._take_rows(i)
+            if i_slice and i == slice(None) and not j_slice:
+                out = np.array(self.base[:, j])
+                if self.rows.size:
+                    out[self.rows] = self.patch[:, j]
+                return out
+            if not i_slice and not j_slice:
+                return self._take_pairs(i, j)
+            return self.dense()[key]
+        if isinstance(key, tuple):
+            return self.dense()[key]
+        return self._take_rows(key)
 
 
 class RoutingTables:
@@ -51,7 +318,7 @@ class RoutingTables:
         Any :class:`~repro.topologies.base.Topology`; the router graph
         must be connected (unless ``alive`` marks failed routers).
     path_cache:
-        ``True``/``False`` forces the dense unique-path cache on or off;
+        ``True``/``False`` forces the unique-path cache on or off;
         ``None`` (default) defers to ``$REPRO_PATH_CACHE`` and the
         ``$REPRO_PATH_CACHE_MB`` memory cap.
     alive:
@@ -70,15 +337,45 @@ class RoutingTables:
     ):
         if alive is None and not topo.is_connected():
             raise ValueError("routing tables require a connected topology")
-        # One batched all-sources BFS instead of n Python-level ones.
-        dist = topo.graph.all_pairs_distances(dtype=np.int16)
+        graph = topo.graph
+        n = graph.n
+        # One batched all-sources BFS instead of n Python-level ones,
+        # driven in source blocks so the BFS's (sources x n) int64 stamp
+        # scratch never materializes an N x N transient, and with the
+        # minimal-next-hop candidates collected from the frontier
+        # expansion itself — no second compare pass over the finished
+        # distance matrix (that pass is bandwidth-bound; see
+        # :meth:`_candidates_from_dist`, kept for rebuilt tables and as
+        # a golden cross-check).
+        dist = np.empty((n, n), dtype=np.int16)
+        max_degree = int(graph.degree().max()) if n else 0
+        vdt = _value_dtype(n)
+        count = np.zeros(n * n, dtype=_count_dtype(max_degree))
+        first = np.full(n * n, -1, dtype=vdt)
+        parts = []
+        for block in graph._source_blocks(np.arange(n, dtype=np.int64)):
+            dblock, (c_row, c_vert, c_hop) = graph.all_pairs_distances(
+                block, dtype=np.int16, return_candidates=True
+            )
+            lo = int(block[0]) if block.size else 0
+            dist[lo : lo + block.size] = dblock
+            # Triple (row, vert, hop): hop is a minimal next hop for the
+            # pair (src=vert, dst=block[row]).
+            pair = c_vert.astype(np.int64) * n + block[c_row]
+            order = np.lexsort((c_hop, pair))
+            parts.append(
+                _scatter_sorted_run(
+                    pair[order], c_hop[order].astype(vdt), count, first
+                )
+            )
         self._init_from(topo, dist, path_cache, alive)
+        self._cands = _CandidateTable(n, count, first, parts)
 
     @classmethod
     def from_distances(
         cls,
         topo: Topology,
-        dist: np.ndarray,
+        dist,
         path_cache: "bool | None" = None,
         alive: "np.ndarray | None" = None,
     ) -> "RoutingTables":
@@ -86,9 +383,10 @@ class RoutingTables:
 
         The incremental fault-repair path
         (:func:`repro.routing.degraded.reroute_after_failures`) patches
-        only the BFS rows a failure could have changed and builds the
-        rest of the table state through here — the lazy caches are
-        rebuilt on demand, so served paths are identical to a fresh
+        only the BFS rows a failure could have changed — handing over a
+        :class:`RowPatchedDist` view instead of a dense copy — and
+        builds the rest of the table state through here; the lazy caches
+        are rebuilt on demand, so served paths are identical to a fresh
         build's.
         """
         self = cls.__new__(cls)
@@ -108,11 +406,12 @@ class RoutingTables:
                 raise ValueError("failures disconnect the network")
         self._path_cache_opt = path_cache
         self._path_cache_on: "bool | None" = None
-        # Lazily-built CSR of minimal next-hop candidates per (src, dst)
-        # pair, for the batched path extractor.
-        self._min_hop_csr: "tuple | None" = None
-        # Lazily-built dense cache of the pairs whose shortest path is
-        # unique (no ECMP tie anywhere along it).
+        # Lazily-built compact table of minimal next-hop candidates per
+        # (src, dst) pair, for the batched path extractor.  Fresh builds
+        # overwrite this with the fused-BFS table in __init__.
+        self._cands: "_CandidateTable | None" = None
+        # Lazily-built cache of the pairs whose shortest path is unique
+        # (no ECMP tie anywhere along it).
         self._unique_paths: "tuple | None" = None
 
     # ------------------------------------------------------------------
@@ -154,79 +453,98 @@ class RoutingTables:
     # ------------------------------------------------------------------
     # Batched extraction (the per-cycle routing hot path)
     # ------------------------------------------------------------------
-    def _candidate_csr(self) -> tuple:
-        """CSR of minimal next hops per (src, dst) pair, built on demand.
+    def _candidate_table(self) -> _CandidateTable:
+        """The compact candidate table, building from ``dist`` on demand.
+
+        Fresh :class:`RoutingTables` builds get the table fused into the
+        BFS; tables rebuilt over an external distance matrix
+        (:meth:`from_distances`, i.e. fault repair) derive it here.
+        """
+        if self._cands is None:
+            self._cands = self._candidates_from_dist()
+        return self._cands
+
+    def _candidates_from_dist(self) -> _CandidateTable:
+        """Compact candidate table derived from the distance matrix.
 
         One vectorized pass over the *directed* edge set: edge ``u -> v``
         is a candidate for destination ``dst`` iff
         ``dist[v, dst] == dist[u, dst] - 1``, tested for every edge and
         destination at once (blocked to bound the boolean workspace).
-        ``indptr`` has ``n*n + 1`` entries indexed by ``src*n + dst``;
-        ``data`` lists the candidate neighbors in ascending id order (so
-        candidate 0 matches the deterministic scalar path) — identical
-        rows to the seed per-source build
-        (:func:`per_source_candidate_csr`, pinned by golden tests).
+        Candidates come out in ascending id order per pair (so candidate
+        0 matches the deterministic scalar path) — identical rows to the
+        seed per-source build (:func:`per_source_candidate_csr`) *and*
+        to the fused frontier-derived build, both pinned by golden
+        tests.
         """
-        if self._min_hop_csr is None:
-            graph = self.topo.graph
-            n = graph.n
-            dist = self.dist
-            src = np.repeat(
-                np.arange(n, dtype=np.int64), np.diff(graph.indptr)
+        graph = self.topo.graph
+        n = graph.n
+        dist = self.dist
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+        nbr = graph.indices
+        # The comparison only needs to distinguish equal-vs-not of
+        # values that differ by at most the diameter: int8 rows (when
+        # the diameter fits) halve the gather traffic of the
+        # bandwidth-bound edges x destinations pass.
+        if int(dist.max()) < 127:
+            cmp_dist = dist.astype(np.int8)
+        else:
+            cmp_dist = np.asarray(dist)
+        shifted = cmp_dist - cmp_dist.dtype.type(1)
+        flat_parts = []
+        # Edge blocks sized so each comparison block (~2M entries)
+        # stays cache-resident — same total work as one giant pass,
+        # much better locality.  flatnonzero on the raveled block is
+        # several times faster than 2-D nonzero; the flat index
+        # decomposes into (edge, dst) afterwards.
+        step = max(1, (1 << 21) // max(n, 1))
+        for lo in range(0, src.size, step):
+            on_path = (
+                cmp_dist[nbr[lo : lo + step], :]
+                == shifted[src[lo : lo + step], :]
             )
-            nbr = graph.indices
-            # The comparison only needs to distinguish equal-vs-not of
-            # values that differ by at most the diameter: int8 rows (when
-            # the diameter fits) halve the gather traffic of the
-            # bandwidth-bound edges x destinations pass.
-            cmp_dist = (
-                dist.astype(np.int8) if int(dist.max()) < 127 else dist
-            )
-            shifted = cmp_dist - cmp_dist.dtype.type(1)
-            flat_parts = []
-            # Edge blocks sized so each comparison block (~2M entries)
-            # stays cache-resident — same total work as one giant pass,
-            # much better locality.  flatnonzero on the raveled block is
-            # several times faster than 2-D nonzero; the flat index
-            # decomposes into (edge, dst) afterwards.
-            step = max(1, (1 << 21) // max(n, 1))
-            for lo in range(0, src.size, step):
-                on_path = (
-                    cmp_dist[nbr[lo : lo + step], :]
-                    == shifted[src[lo : lo + step], :]
-                )
-                flat_parts.append(np.flatnonzero(on_path) + lo * n)
-            flat = (
-                np.concatenate(flat_parts)
-                if flat_parts
-                else np.empty(0, np.int64)
-            )
-            e_idx = flat // n
-            dst_idx = flat - e_idx * n
-            pair = src[e_idx] * n + dst_idx
-            # Stable sort by pair keeps equal pairs in edge order, which
-            # is ascending neighbor id within a source (CSR neighbors are
-            # sorted) — the order the scalar tie-break contract requires.
-            # int32 keys when they fit: the stable integer radix sort
-            # then runs half the passes.
-            if n * n < np.iinfo(np.int32).max:
-                order = np.argsort(pair.astype(np.int32), kind="stable")
-            else:
-                order = np.argsort(pair, kind="stable")
-            data = nbr[e_idx[order]].astype(np.int32)
-            indptr = np.zeros(n * n + 1, dtype=np.int64)
-            np.cumsum(np.bincount(pair, minlength=n * n), out=indptr[1:])
-            self._min_hop_csr = (indptr, data)
-        return self._min_hop_csr
+            flat_parts.append(np.flatnonzero(on_path) + lo * n)
+        flat = (
+            np.concatenate(flat_parts) if flat_parts else np.empty(0, np.int64)
+        )
+        e_idx = flat // n
+        dst_idx = flat - e_idx * n
+        pair = src[e_idx] * n + dst_idx
+        # Stable sort by pair keeps equal pairs in edge order, which
+        # is ascending neighbor id within a source (CSR neighbors are
+        # sorted) — the order the scalar tie-break contract requires.
+        # int32 keys when they fit: the stable integer radix sort
+        # then runs half the passes.
+        if n * n < np.iinfo(np.int32).max:
+            order = np.argsort(pair.astype(np.int32), kind="stable")
+        else:
+            order = np.argsort(pair, kind="stable")
+        vdt = _value_dtype(n)
+        max_degree = int(graph.degree().max()) if n else 0
+        count = np.zeros(n * n, dtype=_count_dtype(max_degree))
+        first = np.full(n * n, -1, dtype=vdt)
+        part = _scatter_sorted_run(
+            pair[order], nbr[e_idx[order]].astype(vdt), count, first
+        )
+        return _CandidateTable(n, count, first, [part])
+
+    def _candidate_csr(self) -> tuple:
+        """Dense ``(indptr, data)`` CSR materialized from the compact table.
+
+        Kept as the oracle-shaped view the golden tests compare against
+        :func:`per_source_candidate_csr`; serving paths use the compact
+        table directly and never allocate the ``n*n + 1`` indptr.
+        """
+        return self._candidate_table().dense_csr()
 
     def _path_cache_enabled(self) -> bool:
-        """Whether the dense unique-path cache may be built and served.
+        """Whether the unique-path cache may be built and served.
 
         An explicit ``path_cache=`` argument wins; otherwise
         ``$REPRO_PATH_CACHE=0`` disables it, and the estimated footprint
-        (int32 paths + int64 lens + unique flags over all n^2 pairs) must
-        fit under ``$REPRO_PATH_CACHE_MB`` MiB — q=31 (N=993) needs about
-        20 MB, comfortably inside the 256 MB default.
+        (narrow path entries + unique flags over all n^2 pairs) must
+        fit under ``$REPRO_PATH_CACHE_MB`` MiB — q=31 (N=993) needs
+        about 7 MB, comfortably inside the 256 MB default.
 
         The decision is memoized: this sits on the per-cycle routing hot
         path, and the ``dist.max()`` footprint estimate is O(n^2).
@@ -244,40 +562,54 @@ class RoutingTables:
             return False
         n = self.topo.num_routers
         width = int(self.dist.max()) + 1
+        psize = np.dtype(_value_dtype(n)).itemsize
         budget_mb = float(
             os.environ.get(PATH_CACHE_MB_ENV, _PATH_CACHE_DEFAULT_MB)
         )
-        return n * n * (4 * width + 9) <= budget_mb * 2**20
+        return n * n * (psize * width + 1) <= budget_mb * 2**20
 
     def _unique_path_cache(self) -> tuple:
-        """Dense ``(paths, lens, unique)`` cache over all pairs, lazily.
+        """Streamed ``(paths, unique)`` cache over all pairs, lazily.
 
         ``unique[pair]`` marks pairs whose shortest path has no ECMP tie
         at any step; for those, ``paths[pair]`` is *the* path and batched
         extraction is a single gather with zero RNG draws (the batch
         protocol only draws where there is a tie to break).  Pairs with
         ties are never served from the cache.
+
+        The build walks row chunks (~1M pairs at a time), so its
+        transient scratch stays bounded no matter how large the fabric;
+        path entries are int16 when router ids fit, and lengths are not
+        stored at all — they are ``dist + 1``, recomputed on serve.
         """
         if self._unique_paths is None:
             n = self.topo.num_routers
-            indptr, data = self._candidate_csr()
+            tab = self._candidate_table()
             width = int(self.dist.max()) + 1
-            lens = self.dist.ravel().astype(np.int64) + 1
-            paths = np.zeros((n * n, width), dtype=np.int32)
-            srcs = np.repeat(np.arange(n, dtype=np.int64), n)
-            dsts = np.tile(np.arange(n, dtype=np.int64), n)
-            paths[:, 0] = srcs
+            paths = np.zeros((n * n, width), dtype=_value_dtype(n))
             unique = np.ones(n * n, dtype=bool)
-            cur = srcs.copy()
-            for col in range(1, width):
-                act = lens > col
-                pair = cur[act] * n + dsts[act]
-                start = indptr[pair]
-                unique[act] &= indptr[pair + 1] - start == 1
-                nxt = data[start]
-                cur[act] = nxt
-                paths[act, col] = nxt
-            self._unique_paths = (paths, lens, unique)
+            dsts_row = np.arange(n, dtype=np.int64)
+            step = max(1, _PATH_CHUNK_ENTRIES // max(n, 1))
+            for lo in range(0, n, step):
+                rows = np.arange(lo, min(lo + step, n), dtype=np.int64)
+                sl = slice(lo * n, (lo + rows.size) * n)
+                pview = paths[sl]
+                uview = unique[sl]
+                srcs = np.repeat(rows, n)
+                dsts = np.tile(dsts_row, rows.size)
+                lens = (
+                    np.asarray(self.dist[rows]).ravel().astype(np.int64) + 1
+                )
+                pview[:, 0] = srcs
+                cur = srcs.copy()
+                for col in range(1, width):
+                    act = lens > col
+                    pair = cur[act] * n + dsts[act]
+                    uview[act] &= tab.count[pair] == 1
+                    nxt = tab.first[pair].astype(np.int64)
+                    cur[act] = nxt
+                    pview[act, col] = nxt
+            self._unique_paths = (paths, unique)
         return self._unique_paths
 
     def shortest_paths_batch(self, srcs, dsts, rng=None) -> tuple:
@@ -298,17 +630,22 @@ class RoutingTables:
         if k and self._path_cache_enabled():
             # Serve the batch from the unique-path cache when no row
             # needs a tie-break — draw-free, so RNG-stream identical.
-            cache_paths, cache_lens, unique = self._unique_path_cache()
+            cache_paths, unique = self._unique_path_cache()
             pairs = srcs * n + dsts
             if unique[pairs].all():
-                lens = cache_lens[pairs]
+                lens = self.dist[srcs, dsts].astype(np.int64) + 1
                 # Trim to this batch's width so callers see the same
                 # shape contract as the general extractor.
-                return cache_paths[pairs][:, : int(lens.max())], lens
+                return (
+                    cache_paths[pairs][:, : int(lens.max())].astype(
+                        np.int32, copy=False
+                    ),
+                    lens,
+                )
         lens = self.dist[srcs, dsts].astype(np.int64) + 1
         if k == 0:
             return np.empty((0, 1), dtype=np.int32), lens
-        indptr, data = self._candidate_csr()
+        tab = self._candidate_table()
         max_len = int(lens.max())
         paths = np.empty((k, max_len), dtype=np.int32)
         paths[:, 0] = srcs
@@ -320,17 +657,7 @@ class RoutingTables:
             pair = (cur if whole else cur[act]) * n + (
                 dsts if whole else dsts[act]
             )
-            start = indptr[pair]
-            count = indptr[pair + 1] - start
-            # Draw tie-breaks only where there is a tie to break: unique
-            # shortest paths (the common case on PolarFly) cost no RNG.
-            pick = 0
-            if rng is not None:
-                multi = np.flatnonzero(count > 1)
-                if multi.size:
-                    pick = np.zeros(pair.size, dtype=np.int64)
-                    pick[multi] = rng.integers(count[multi])
-            nxt = data[start + pick].astype(np.int64)
+            nxt = tab.next_hops(pair, rng)
             if whole and col + 1 < max_len:
                 cur = nxt
                 paths[:, col] = nxt
@@ -346,12 +673,14 @@ class RoutingTables:
 def per_source_candidate_csr(graph, dist) -> tuple:
     """The seed per-source candidate-CSR build, kept as the golden oracle.
 
-    The vectorized :meth:`RoutingTables._candidate_csr` is pinned to
-    produce identical rows, and the construction benchmark measures this
-    loop as the speedup baseline.  ``data`` is int64 as in the seed; the
-    golden comparison is value-wise.
+    The frontier-derived compact table (materialized through
+    :meth:`RoutingTables._candidate_csr`) is pinned to produce identical
+    rows, and the construction benchmark measures this loop as the
+    speedup baseline.  ``data`` is int64 as in the seed; the golden
+    comparison is value-wise.
     """
     n = graph.n
+    dist = np.asarray(dist)
     indptr = np.zeros(n * n + 1, dtype=np.int64)
     chunks = []
     for s in range(n):

@@ -18,6 +18,12 @@ from repro.topologies.dragonfly import Dragonfly, balanced_dragonfly
 from repro.topologies.fattree import FatTree
 from repro.topologies.jellyfish import Jellyfish, random_regular_graph
 from repro.topologies.hyperx import HyperX, hyperx_order, hyperx_radix
+from repro.topologies.polarstar import (
+    PolarStar,
+    polarstar_order,
+    polarstar_radix,
+    default_supernode_order,
+)
 from repro.topologies.moore import (
     moore_bound,
     moore_bound_diameter2,
@@ -42,6 +48,10 @@ __all__ = [
     "HyperX",
     "hyperx_order",
     "hyperx_radix",
+    "PolarStar",
+    "polarstar_order",
+    "polarstar_radix",
+    "default_supernode_order",
     "moore_bound",
     "moore_bound_diameter2",
     "petersen_graph",

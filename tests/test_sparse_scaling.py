@@ -1,0 +1,265 @@
+"""Golden pins for the sparse (O(N^2)-free) scaling tier.
+
+Every sparse structure that replaced a dense one is pinned against the
+dense oracle it replaced:
+
+* the CSR port map of :class:`~repro.flitsim.flatcore.FlatFabric`
+  (sorted-neighbor searchsorted) against a scatter-built dense port
+  matrix, plus the int16 ``rev_mat``;
+* the frontier-derived compact candidate table (fused into the batched
+  BFS) against the seed per-source CSR oracle *and* against the
+  compare-pass rebuild used by fault repair;
+* :class:`~repro.routing.tables.RowPatchedDist` against the equivalent
+  dense matrix over its full indexing surface;
+* and the headline structural guarantee: constructing the q=31 tier
+  leaves no reachable array of N^2 elements wider than the int16
+  distance matrix itself — no dense port matrix, no int64 candidate
+  indptr, no dense congestion scratch.
+"""
+
+import gc
+import types
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import TOPOLOGIES
+from repro.flitsim.flatcore import FlatFabric
+from repro.routing.degraded import reroute_after_failures
+from repro.routing.tables import (
+    RoutingTables,
+    RowPatchedDist,
+    per_source_candidate_csr,
+)
+
+SPECS = [
+    "polarfly:conc=2,q=7",
+    "polarfly:conc=2,q=11",
+    "slimfly:conc=2,q=5",
+    "fattree:k=4,n=2",
+]
+
+
+@pytest.fixture(scope="module", params=SPECS, ids=[s.split(":")[0] + s.split("=")[-1] for s in SPECS])
+def topo(request):
+    return TOPOLOGIES.create(request.param)
+
+
+def _dense_port_matrix(graph) -> np.ndarray:
+    """The dense oracle: port_mat[u, v] = index of v among u's sorted
+    neighbors, -1 for non-adjacent pairs."""
+    port = np.full((graph.n, graph.n), -1, dtype=np.int64)
+    for u in range(graph.n):
+        nbrs = graph.neighbors(u)
+        port[u, nbrs] = np.arange(nbrs.size)
+    return port
+
+
+class TestCsrPortMap:
+    def test_ports_toward_matches_dense_oracle(self, topo):
+        fab = FlatFabric(topo)
+        oracle = _dense_port_matrix(topo.graph)
+        src, dst = np.nonzero(oracle >= 0)
+        assert np.array_equal(fab.ports_toward(src, dst), oracle[src, dst])
+
+    def test_scalar_port_toward(self, topo):
+        fab = FlatFabric(topo)
+        oracle = _dense_port_matrix(topo.graph)
+        src, dst = np.nonzero(oracle >= 0)
+        for u, v in zip(src[::7], dst[::7]):
+            assert fab.port_toward(int(u), int(v)) == oracle[u, v]
+
+    def test_rev_mat_matches_oracle_and_is_int16(self, topo):
+        fab = FlatFabric(topo)
+        oracle = _dense_port_matrix(topo.graph)
+        assert fab.rev_mat.dtype == np.int16
+        for u in range(topo.num_routers):
+            nbrs = topo.graph.neighbors(u)
+            for p, v in enumerate(nbrs):
+                # rev_mat[u, p]: the port of neighbor v that points back
+                # at u — the upstream credit-return coordinate.
+                assert fab.rev_mat[u, p] == oracle[v, u]
+
+    def test_no_dense_port_matrix_attribute(self, topo):
+        fab = FlatFabric(topo)
+        assert not hasattr(fab, "port_mat")
+        n = topo.num_routers
+        # The CSR map is O(E), never O(N^2).
+        assert fab.edge_keys.size == fab.adj_indices.size
+        assert fab.edge_keys.size < n * n or n <= 2
+
+
+class TestFrontierCandidates:
+    def test_matches_per_source_oracle(self, topo):
+        tables = RoutingTables(topo)
+        indptr, data = tables._candidate_csr()
+        o_indptr, o_data = per_source_candidate_csr(
+            topo.graph, np.asarray(tables.dist)
+        )
+        assert np.array_equal(indptr, o_indptr)
+        assert np.array_equal(data, o_data)
+
+    def test_fused_equals_rebuilt_from_dist(self, topo):
+        fused = RoutingTables(topo)._candidate_table()
+        rebuilt = RoutingTables.from_distances(
+            topo, np.asarray(RoutingTables(topo).dist)
+        )._candidate_table()
+        assert np.array_equal(fused.count, rebuilt.count)
+        assert np.array_equal(fused.first, rebuilt.first)
+        assert np.array_equal(fused.multi_pairs, rebuilt.multi_pairs)
+        assert np.array_equal(fused.multi_indptr, rebuilt.multi_indptr)
+        assert np.array_equal(fused.multi_data, rebuilt.multi_data)
+
+    def test_next_hops_serve_matches_dense_csr(self, topo):
+        tables = RoutingTables(topo)
+        tab = tables._candidate_table()
+        indptr, data = tables._candidate_csr()
+        n = topo.num_routers
+        pairs = np.random.default_rng(9).integers(0, n * n, size=500)
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        got = tab.next_hops(pairs, rng1)
+        counts = (indptr[pairs + 1] - indptr[pairs]).astype(np.int64)
+        # Replay the identical RNG stream the dense serving path used:
+        # one integers() call over the tied pairs only.
+        picks = np.zeros(pairs.size, dtype=np.int64)
+        multi = counts > 1
+        if multi.any():
+            picks[multi] = rng2.integers(counts[multi])
+        have = counts > 0
+        assert np.array_equal(got[have], data[indptr[pairs[have]] + picks[have]])
+        assert (got[~have] == -1).all()
+        # Deterministic serving returns the lowest-id candidate.
+        det = tab.next_hops(pairs)
+        assert np.array_equal(det[have], data[indptr[pairs[have]]])
+
+
+class TestRowPatchedDist:
+    @pytest.fixture()
+    def patched(self):
+        rng = np.random.default_rng(3)
+        base = rng.integers(0, 9, size=(12, 12)).astype(np.int16)
+        rows = np.array([2, 5, 9])
+        patch = rng.integers(0, 9, size=(3, 12)).astype(np.int16)
+        dense = base.copy()
+        dense[rows] = patch
+        return RowPatchedDist(base, rows, patch), dense
+
+    def test_full_indexing_surface(self, patched):
+        d, dense = patched
+        assert d.shape == dense.shape and d.ndim == 2
+        assert d.dtype == dense.dtype
+        assert np.array_equal(np.asarray(d), dense)
+        assert np.array_equal(d.dense(), dense)
+        assert np.array_equal(d.copy(), dense)
+        assert np.array_equal(d.astype(np.int64), dense.astype(np.int64))
+        assert d.max() == dense.max()
+        # Rows: scalar, array, bool mask, plain [i].
+        assert np.array_equal(d[2, :], dense[2, :])
+        assert np.array_equal(d[3, :], dense[3, :])
+        assert np.array_equal(d[np.array([0, 2, 5, 11])], dense[[0, 2, 5, 11]])
+        mask = np.zeros(12, dtype=bool)
+        mask[[1, 2, 9]] = True
+        assert np.array_equal(d[mask], dense[mask])
+        # Columns and blocks.
+        assert np.array_equal(d[:, 4], dense[:, 4])
+        assert np.array_equal(
+            d[:, np.array([0, 5])], dense[:, np.array([0, 5])]
+        )
+        ix = np.ix_(np.array([1, 2, 7]), np.array([0, 9]))
+        assert np.array_equal(d[ix], dense[ix])
+        # Pair gathers: arrays, scalar, broadcast scalar-vs-array.
+        srcs = np.array([0, 2, 5, 9, 11])
+        dsts = np.array([3, 3, 1, 0, 2])
+        assert np.array_equal(d[srcs, dsts], dense[srcs, dsts])
+        assert d[5, 7] == dense[5, 7]
+        assert d[3, 7] == dense[3, 7]
+        assert np.array_equal(d[2, dsts], dense[2, dsts])
+        assert np.array_equal(d[srcs, 4], dense[srcs, 4])
+
+    def test_base_is_never_written(self, patched):
+        d, _ = patched
+        before = d.base.copy()
+        _ = d.dense()
+        _ = d[np.arange(12)]
+        _ = d[np.array([2, 3]), np.array([1, 1])]
+        assert np.array_equal(d.base, before)
+
+    def test_empty_patch_degenerates_to_base(self):
+        base = np.arange(16, dtype=np.int16).reshape(4, 4)
+        d = RowPatchedDist(base, np.empty(0, dtype=np.int64), base[:0])
+        assert np.array_equal(np.asarray(d), base)
+        assert d.max() == base.max()
+
+
+class TestDegradedRowSparse:
+    def test_incremental_repair_uses_row_patch(self):
+        topo = TOPOLOGIES.create("polarfly:conc=2,q=7")
+        base = RoutingTables(topo)
+        failed = [tuple(topo.graph.edges()[0])]
+        inc = reroute_after_failures(topo, failed, base=base)
+        fresh = reroute_after_failures(topo, failed)
+        assert isinstance(inc.dist, RowPatchedDist)
+        # Patch rows are a strict subset: row-sparse, not a dense copy.
+        assert 0 < inc.dist.rows.size < topo.num_routers
+        assert np.array_equal(np.asarray(inc.dist), np.asarray(fresh.dist))
+
+    def test_untouched_failure_shares_base_dist(self):
+        # Removing no edges keeps the identical dist object.
+        topo = TOPOLOGIES.create("polarfly:conc=2,q=7")
+        base = RoutingTables(topo)
+        inc = reroute_after_failures(topo, np.empty((0, 2), dtype=np.int64),
+                                     base=base)
+        assert inc.dist is base.dist
+
+
+def _reachable_arrays(*roots):
+    """Every numpy array reachable from ``roots`` via gc edges.
+
+    Classes, modules, and functions are pruned so the walk stays inside
+    the object graph under test instead of the whole interpreter.
+    """
+    seen, out, stack = set(), [], list(roots)
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, np.ndarray):
+            out.append(obj)
+            continue
+        if isinstance(
+            obj,
+            (str, bytes, int, float, bool, type(None), type,
+             types.ModuleType, types.FunctionType, types.MethodType),
+        ):
+            continue
+        stack.extend(gc.get_referents(obj))
+    return out
+
+
+def test_no_wide_dense_structures_at_q31():
+    """The sparse-tier guarantee, asserted on the q=31 default path.
+
+    After building topology, routing tables (including the unique-path
+    cache and candidate table), and the flat fabric, the only structures
+    allowed to scale as N^2 are the int16 distance matrix and equally
+    narrow companions (<= 2 bytes/pair: path-cache rows, uint8/int16
+    candidate count/first, bool unique flags).  A dense port matrix,
+    int64 candidate indptr, or dense congestion view would all trip the
+    itemsize check.
+    """
+    topo = TOPOLOGIES.create("polarfly:conc=2,q=31")
+    n = topo.num_routers
+    tables = RoutingTables(topo)
+    tables._candidate_table()
+    if tables._path_cache_enabled():
+        tables._unique_path_cache()
+    fab = FlatFabric(topo)
+    assert not hasattr(fab, "port_mat")
+    offenders = [
+        (a.shape, a.dtype)
+        for a in _reachable_arrays(topo, tables, fab)
+        if a.size >= n * n and a.itemsize > 2
+    ]
+    assert offenders == [], offenders

@@ -84,6 +84,11 @@ def main(argv=None) -> int:
         help="skip the resilience-under-load (fault timeline) section",
     )
     parser.add_argument(
+        "--no-scale",
+        action="store_true",
+        help="skip the sparse-tier (flat-engine-only) scale cells",
+    )
+    parser.add_argument(
         "--check-construction",
         type=float,
         default=None,
@@ -120,6 +125,7 @@ def main(argv=None) -> int:
         construction=not args.no_construction,
         workloads=not args.no_workloads,
         faults=not args.no_faults,
+        scale=not args.no_scale,
     )
     path = write_bench_json(doc, args.out)
 
@@ -198,11 +204,26 @@ def main(argv=None) -> int:
         line = (
             f"{name:28s} N={entry['num_routers']:<5d} topo "
             f"{entry['topology_s'] * 1e3:7.1f} ms   tables "
-            f"{rt['batched_s'] * 1e3:7.1f} ms   csr "
-            f"{entry['candidate_csr']['batched_s'] * 1e3:7.1f} ms"
+            f"{rt['batched_s'] * 1e3:7.1f} ms   cand "
+            f"{entry['candidate_table']['batched_s'] * 1e3:7.1f} ms"
         )
         if "speedup_batched_over_per_source" in rt:
             line += f"   tables speedup {rt['speedup_batched_over_per_source']:.1f}x"
+        mem = entry.get("memory", {})
+        if "peak_rss_kb" in mem:
+            line += f"   peakRSS {mem['peak_rss_kb'] / 1024:.0f} MB"
+        elif "traced_peak_bytes" in mem:
+            line += f"   traced {mem['traced_peak_bytes'] / 2**20:.0f} MB"
+        print(line)
+
+    for name, entry in doc.get("scale", {}).items():
+        parts = [
+            f"{eng} {val['cycles_per_sec']:8.0f} c/s"
+            for eng, val in entry["engines"].items()
+        ]
+        line = f"{name:28s} " + "   ".join(parts)
+        if "speedup_kernel_over_numpy" in entry:
+            line += f"   kernel {entry['speedup_kernel_over_numpy']:.2f}x"
         print(line)
 
     if args.check_construction is not None and not args.no_construction:
