@@ -57,6 +57,8 @@ __all__ = [
     "ResultCache",
     "SweepRunner",
     "ExperimentResult",
+    "CellError",
+    "SweepCellError",
     "simulate_point",
     "simulate_workload",
     "run_cell",
@@ -70,6 +72,8 @@ _LAZY = {
     "ResultCache": "repro.experiments.cache",
     "SweepRunner": "repro.experiments.runner",
     "ExperimentResult": "repro.experiments.runner",
+    "CellError": "repro.experiments.runner",
+    "SweepCellError": "repro.experiments.runner",
     "simulate_point": "repro.experiments.runner",
     "simulate_workload": "repro.experiments.runner",
     "run_cell": "repro.experiments.runner",

@@ -1,0 +1,190 @@
+"""Deterministic chaos injection for the sweep scheduler's fault paths.
+
+The resilient scheduler's claims — checkpointed resume, pool
+self-healing, retry/bisection/quarantine, corrupt-artifact recovery —
+are only worth anything if they are *exercised*.  This module injects
+faults into a real sweep from the inside: a :class:`ChaosPlan` parsed
+from ``$REPRO_CHAOS`` hooks into :func:`~repro.experiments.runner.run_cell`
+(worker side) and :meth:`~repro.experiments.cache.ResultCache.put`
+(parent side), and the chaos test matrix asserts that results under
+chaos are bit-identical to a clean single-worker run.
+
+Fault plans are deterministic: per-cell decisions derive from the
+plan's seed and the cell's content hash, and one-shot faults (kill a
+worker once, truncate one artifact) are sequenced through marker files
+in the plan's scratch directory — atomic ``O_EXCL`` creates, so the
+bookkeeping is race-free across worker processes and a retried cell is
+not re-killed.
+
+Plan syntax (comma-separated ``key=value`` pairs)::
+
+    REPRO_CHAOS="kill=1,corrupt=1,delay_ms=5,dir=/tmp/chaos"
+
+============  ========================================================
+``seed=N``    root seed for per-cell derivations (default 0)
+``kill=K``    SIGKILL the worker for the first K cells to execute
+              (once each, marker-sequenced)
+``hang=K``    sleep ``hang_s`` seconds in the first K cells (once
+              each) — exercises the wall-clock timeout path
+``hang_s=X``  hang duration in seconds (default 3600)
+``corrupt=K``  truncate the first K artifacts written through
+              :meth:`ResultCache.put` (once each)
+``delay_ms=X``  per-cell seed-derived injection delay in [0, X) ms —
+              jitters scheduling order without changing results
+``kill_key=P``  SIGKILL the worker running any cell whose hash starts
+              with prefix ``P`` (once per cell, marker-sequenced)
+``flaky_key=P``  raise :class:`ChaosError` on the *first* attempt of
+              cells matching ``P`` — exercises plain retry
+``raise_key=P``  raise :class:`ChaosError` on *every* attempt of cells
+              matching ``P`` — a deterministic poison cell, exercises
+              bisection + quarantine
+``dir=PATH``  marker scratch directory (``$REPRO_CHAOS_DIR`` is the
+              fallback); required by the marker-sequenced modes
+============  ========================================================
+
+Chaos is entirely inert unless ``$REPRO_CHAOS`` is set — the hooks gate
+on the raw environment variable before importing this module.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from repro.utils.rng import derive_seed
+
+__all__ = ["CHAOS_ENV", "CHAOS_DIR_ENV", "ChaosError", "ChaosPlan", "active_plan"]
+
+#: environment variable holding the chaos plan spec
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: fallback environment variable for the marker scratch directory
+CHAOS_DIR_ENV = "REPRO_CHAOS_DIR"
+
+
+class ChaosError(RuntimeError):
+    """The exception chaos-injected cells raise."""
+
+
+@dataclass
+class ChaosPlan:
+    """A parsed ``$REPRO_CHAOS`` fault plan (see the module docstring)."""
+
+    seed: int = 0
+    kill: int = 0
+    hang: int = 0
+    corrupt: int = 0
+    delay_ms: float = 0.0
+    hang_s: float = 3600.0
+    kill_key: str = ""
+    raise_key: str = ""
+    flaky_key: str = ""
+    dir: str = ""
+
+    # ------------------------------------------------------------------
+    # Marker bookkeeping (one-shot fault sequencing)
+    # ------------------------------------------------------------------
+    def _scratch(self) -> str:
+        if not self.dir:
+            raise ChaosError(
+                "chaos plan uses one-shot faults (kill/hang/corrupt/"
+                "kill_key/flaky_key) but has no marker directory: add "
+                f"dir=PATH to ${CHAOS_ENV} or set ${CHAOS_DIR_ENV}"
+            )
+        return self.dir
+
+    def _acquire(self, name: str) -> bool:
+        """Atomically claim marker ``name``; True iff newly created."""
+        scratch = self._scratch()
+        os.makedirs(scratch, exist_ok=True)
+        try:
+            fd = os.open(
+                os.path.join(scratch, name),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+    def _slot(self, kind: str, count: int) -> bool:
+        """Claim one of ``count`` one-shot slots for fault ``kind``."""
+        for i in range(count):
+            if self._acquire(f"{kind}-{i}"):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Injection hooks
+    # ------------------------------------------------------------------
+    def before_cell(self, cell: dict) -> None:
+        """Worker-side hook: called at the top of ``run_cell``."""
+        key = str(cell.get("key", ""))
+        if self.delay_ms > 0:
+            frac = (derive_seed(self.seed, "delay", key) % 100) / 100.0
+            time.sleep(self.delay_ms * frac / 1000.0)
+        if (
+            self.flaky_key
+            and key.startswith(self.flaky_key)
+            and self._acquire(f"flaky-{key[:16]}")
+        ):
+            raise ChaosError(f"chaos: transient failure in cell {key[:12]}")
+        if self.raise_key and key.startswith(self.raise_key):
+            raise ChaosError(f"chaos: poison cell {key[:12]}")
+        if (
+            self.kill_key
+            and key.startswith(self.kill_key)
+            and self._acquire(f"kill-{key[:16]}")
+        ):
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.kill and self._slot("kill", self.kill):
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self.hang and self._slot("hang", self.hang):
+            time.sleep(self.hang_s)
+
+    def after_artifact_write(self, path) -> None:
+        """Parent-side hook: may truncate the artifact just written.
+
+        Deliberately non-atomic (in-place truncation to half length),
+        simulating the torn writes a crashed non-atomic writer or a
+        full disk leaves behind.
+        """
+        if self.corrupt and self._slot("corrupt", self.corrupt):
+            path = Path(path)
+            data = path.read_bytes()
+            path.write_bytes(data[: max(1, len(data) // 2)])
+
+
+def parse_plan(text: str) -> ChaosPlan:
+    """Parse a ``key=value,key=value`` chaos spec into a plan."""
+    types = {f.name: f.type for f in fields(ChaosPlan)}
+    casts = {"int": int, "float": float, "str": str}
+    kwargs: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, value = part.partition("=")
+        name = name.strip()
+        if not sep or name not in types:
+            raise ChaosError(f"bad ${CHAOS_ENV} entry {part!r}")
+        kwargs[name] = casts[str(types[name])](value.strip())
+    return ChaosPlan(**kwargs)
+
+
+def active_plan() -> "ChaosPlan | None":
+    """The plan from ``$REPRO_CHAOS``, or None when chaos is off.
+
+    Re-parsed on every call (the string is tiny) so tests can flip the
+    environment between runs without process-level caching surprises.
+    """
+    text = os.environ.get(CHAOS_ENV, "").strip()
+    if not text:
+        return None
+    plan = parse_plan(text)
+    if not plan.dir:
+        plan.dir = os.environ.get(CHAOS_DIR_ENV, "")
+    return plan

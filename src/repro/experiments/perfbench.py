@@ -39,7 +39,9 @@ __all__ = [
     "WORKLOAD_CELLS",
     "FAULT_CELLS",
     "CLOSED_LOOP_ENGINES",
+    "SWEEP_RESILIENCE_MAX_OVERHEAD",
     "bench_cell",
+    "bench_sweep_resilience",
     "bench_workload_cell",
     "bench_fault_cell",
     "bench_construction_spec",
@@ -48,6 +50,7 @@ __all__ = [
     "run_scale_benchmarks",
     "run_workload_benchmarks",
     "run_fault_benchmarks",
+    "run_sweep_resilience_benchmark",
     "run_benchmarks",
     "machine_info",
     "write_bench_json",
@@ -161,6 +164,11 @@ FAULT_CELLS = {
 #: when no kernel is available, since both names would time the same
 #: code.
 CLOSED_LOOP_ENGINES = ("reference", "flat-numpy", "flat")
+
+#: CI gate for the sweep scheduler: the crash-resilient as-completed
+#: dispatcher may cost at most this factor over a bare ``pool.map`` of
+#: statically pre-split chunks on the same grid and pool size.
+SWEEP_RESILIENCE_MAX_OVERHEAD = 1.05
 
 
 def _engine_ctx(engine: str):
@@ -374,6 +382,79 @@ def run_fault_benchmarks(
         )
         for name, cell in cells.items()
     }
+
+
+def bench_sweep_resilience(
+    max_workers: int = 2, repeats: int = 5, seed: int = 1
+) -> dict:
+    """Scheduler overhead: resilient dispatch vs a bare ``pool.map``.
+
+    Runs the Figure-9 headline grid (PolarFly q=7, UGAL_PF, uniform,
+    16 loads — wide enough that per-cell jitter averages out within a
+    round) twice at the same pool size: once through the full
+    crash-resilient scheduler (dynamic chunking, as-completed harvest,
+    deadline tracking — the retry machinery idles on a clean run) and
+    once as the seed's ``pool.map`` over statically pre-split chunks.
+    Both paths time against a pre-warmed pool (the per-worker
+    construction memo is persistent-pool state, not scheduling cost),
+    interleaved in rounds — scheduler then pool.map, ``repeats`` times.
+    The gated ratio is the *median of per-round ratios*: the two sides
+    of one round are adjacent in time, so CPU-frequency and box-load
+    drift (easily ±15% across a CI run) cancels out of each ratio
+    instead of landing on whichever side was measured during the slow
+    patch.  The recorded ratio is what resilience costs when nothing
+    goes wrong; ``tools/bench.py --check`` gates it at
+    :data:`SWEEP_RESILIENCE_MAX_OVERHEAD`.
+    """
+    import math
+    import statistics
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.experiments.runner import SweepRunner, run_chunk
+    from repro.experiments.spec import ExperimentSpec
+
+    spec = ExperimentSpec.grid(
+        ["polarfly:conc=2,q=7"], ["ugal-pf"], ["uniform"],
+        loads=tuple(0.1 + 0.05 * i for i in range(16)),
+        warmup=150, measure=400, drain=100, root_seed=seed,
+    )
+    cells = spec.cells()
+    per = math.ceil(len(cells) / max_workers)
+    chunks = [cells[i : i + per] for i in range(0, len(cells), per)]
+
+    scheduler_s = pool_map_s = float("inf")
+    ratios = []
+    runner = SweepRunner(cache=None, max_workers=max_workers)
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            runner.run(spec)  # warm both pools + construction memos
+            list(pool.map(run_chunk, chunks))
+            for _ in range(repeats):
+                _, s = _timed(lambda: runner.run(spec))
+                _, m = _timed(lambda: list(pool.map(run_chunk, chunks)))
+                scheduler_s = min(scheduler_s, s)
+                pool_map_s = min(pool_map_s, m)
+                ratios.append(s / m)
+    finally:
+        runner.close()
+
+    return {
+        "grid": {
+            "cells": len(cells),
+            "max_workers": max_workers,
+            "repeats": repeats,
+        },
+        "scheduler_s": scheduler_s,
+        "pool_map_s": pool_map_s,
+        "round_ratios": ratios,
+        "overhead_vs_pool_map": statistics.median(ratios),
+        "max_overhead": SWEEP_RESILIENCE_MAX_OVERHEAD,
+    }
+
+
+def run_sweep_resilience_benchmark(seed: int = 1) -> dict:
+    """The ``sweep_resilience`` section of ``BENCH_flitsim.json``."""
+    return bench_sweep_resilience(seed=seed)
 
 
 def run_workload_benchmarks(
@@ -609,6 +690,7 @@ def run_benchmarks(
     workloads: bool = True,
     faults: bool = True,
     scale: bool = True,
+    sweep_resilience: bool = True,
 ) -> dict:
     """Run every cell and assemble the ``BENCH_flitsim.json`` document."""
     cells = CANONICAL_CELLS if cells is None else cells
@@ -636,6 +718,8 @@ def run_benchmarks(
         doc["construction"] = run_construction_benchmarks()
     if scale:
         doc["scale"] = run_scale_benchmarks(seed=seed)
+    if sweep_resilience:
+        doc["sweep_resilience"] = run_sweep_resilience_benchmark(seed=seed)
     return doc
 
 

@@ -8,25 +8,40 @@ already-simulated cells, (2) fanning the missing cells out over
 
 Determinism contract: a cell's result depends only on the cell record
 (spec strings + windows + derived seed), never on which worker ran it,
-in what order, in which chunk, or whether it came from the cache — so
-serial, parallel, and cached runs of the same spec are bit-identical.
+in what order, in which chunk, whether it came from the cache — or how
+many times it had to be retried after a fault — so serial, parallel,
+cached, and crash-recovered runs of the same spec are bit-identical.
 
-Scheduling is **topology-affine**: missing cells are grouped by topology
-spec and submitted as chunks (not single cells), so a worker builds each
-fabric and routing table at most once per chunk and the per-process memo
-absorbs the rest.  The :class:`ProcessPoolExecutor` persists across
-``run()`` calls — a script that fires many sweeps pays process spin-up
-and per-worker construction once.  Workers rebuild
-topologies/policies/traffic from registry spec strings (cheap to ship,
-no pickled simulator state); the default worker count is
-``os.cpu_count()``, overridable with ``$REPRO_SWEEP_WORKERS``.
+Scheduling is **topology-affine** and **crash-resilient**: missing cells
+are grouped by topology spec and split into small dynamically-sized
+chunks (several per worker, so a worker builds each fabric at most once
+per chunk while the grid still drains without a static-ordering tail),
+dispatched as futures and harvested as they complete.  Each finished
+chunk's cells are committed to the cache *immediately* — a killed run
+resumes from the cache with zero re-simulation of finished cells.  A
+chunk that fails (worker death, in-worker exception, or wall-clock
+timeout) is retried with exponential backoff; a broken pool is killed
+and respawned with only the in-flight chunks re-dispatched; a chunk
+that fails twice is bisected until the offending cell is isolated,
+recorded as a :class:`CellError`, and quarantined so the rest of the
+grid completes.  Workers rebuild topologies/policies/traffic from
+registry spec strings (cheap to ship, no pickled simulator state); the
+default worker count is ``os.cpu_count()``, overridable with
+``$REPRO_SWEEP_WORKERS``.
 """
 
 from __future__ import annotations
 
 import os
+import time
+import traceback as _traceback
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 
 from repro.experiments.cache import ResultCache
@@ -37,7 +52,7 @@ from repro.experiments.registry import (
     TRAFFICS,
     WORKLOADS,
 )
-from repro.experiments.spec import ExperimentSpec
+from repro.experiments.spec import ExperimentSpec, cell_cost
 from repro.flitsim.engine import (
     DEFAULT_ENGINE,
     ENGINE_ENV,
@@ -50,16 +65,51 @@ from repro.flitsim.sweep import LoadSweep, SweepPoint
 __all__ = [
     "SweepRunner",
     "ExperimentResult",
+    "CellError",
+    "SweepCellError",
+    "SweepTimeoutError",
     "simulate_point",
     "simulate_workload",
     "run_cell",
     "run_chunk",
     "auto_sim_config",
     "default_worker_count",
+    "cell_timeout",
 ]
 
 #: environment override for the default worker count
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: environment override for the per-cell wall-clock timeout (seconds)
+TIMEOUT_ENV = "REPRO_SWEEP_TIMEOUT"
+
+#: environment override for the cells-per-chunk size
+CHUNK_ENV = "REPRO_SWEEP_CHUNK"
+
+#: default chunk sizing: aim for this many chunks per worker, so the
+#: grid drains without a static-ordering tail and checkpoint commits
+#: stay fine-grained
+CHUNKS_PER_WORKER = 4
+
+#: a chunk (or serial cell) is bisected/quarantined after this many
+#: failed execution attempts
+MAX_ATTEMPTS = 2
+
+#: exponential retry backoff: base * 2**(attempts-1), capped
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 2.0
+
+#: per-cell timeout derivation: max(floor, cycles * routers * rate).
+#: The rate is deliberately generous — the timeout is a hang guard of
+#: last resort, not a performance budget.
+TIMEOUT_FLOOR_S = 30.0
+TIMEOUT_PER_CYCLE_ROUTER_S = 2e-4
+
+#: slack added to every chunk deadline (dispatch + unpickling headroom)
+CHUNK_DEADLINE_SLACK_S = 2.0
+
+#: harvest-loop poll granularity (deadline checks between completions)
+_POLL_S = 0.1
 
 
 def default_worker_count() -> int:
@@ -73,6 +123,69 @@ def default_worker_count() -> int:
     if env:
         return int(env)
     return os.cpu_count() or 1
+
+
+def _estimate_routers(topo_spec: str) -> int:
+    """Crude router-count estimate parsed from a topology spec string.
+
+    Only used to derive a generous default per-cell timeout
+    (cycles x routers) without building the topology in the parent; a
+    wrong guess just loosens or tightens the hang guard, never results.
+    """
+    name, _, params = topo_spec.partition(":")
+    kv: dict = {}
+    for part in params.split(","):
+        k, _, v = part.partition("=")
+        try:
+            kv[k.strip()] = int(v)
+        except ValueError:
+            pass
+    q = kv.get("q", 0)
+    if name == "polarfly" and q:
+        return q * q + q + 1
+    if name == "polarstar" and q:
+        return (q * q + q + 1) * max(1, kv.get("sq", 2 * q + 3))
+    if name == "slimfly" and q:
+        return 2 * q * q
+    if name == "dragonfly" and kv.get("a") and kv.get("h"):
+        return kv["a"] * (kv["a"] * kv["h"] + 1)
+    for alias in ("n", "size", "num_routers"):
+        if kv.get(alias):
+            return kv[alias]
+    return 1024
+
+
+def cell_timeout(cell: dict) -> float:
+    """Wall-clock budget for one cell, in seconds.
+
+    ``$REPRO_SWEEP_TIMEOUT`` wins when set; the default is derived from
+    the cell's simulated-cycle count times an estimated router count —
+    generous enough that it only ever fires on a genuine hang.
+    """
+    env = os.environ.get(TIMEOUT_ENV, "").strip()
+    if env:
+        return float(env)
+    cycles = cell_cost(cell)
+    routers = _estimate_routers(cell["topology"])
+    return max(TIMEOUT_FLOOR_S, cycles * routers * TIMEOUT_PER_CYCLE_ROUTER_S)
+
+
+def _chunk_deadline(cells: list) -> float:
+    """Wall-clock budget for a chunk: the sum of its cells' budgets."""
+    return sum(cell_timeout(cell) for cell in cells) + CHUNK_DEADLINE_SLACK_S
+
+
+def _backoff(attempts: int) -> float:
+    return min(BACKOFF_CAP_S, BACKOFF_BASE_S * 2 ** max(0, attempts - 1))
+
+
+def _format_exception(exc: BaseException) -> str:
+    """Full traceback text, including the worker-side traceback that
+    ``concurrent.futures`` chains as ``exc.__cause__`` when an exception
+    crosses the process boundary."""
+    return "".join(
+        _traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
 
 #: per-process memo: canonical topology spec -> (topology, routing tables)
 _TOPO_MEMO: dict = {}
@@ -207,6 +320,15 @@ def run_cell(cell: dict) -> dict:
     workload curves assemble through the same
     :class:`~repro.flitsim.sweep.LoadSweep` plumbing.
     """
+    # Chaos injection point (tests only): the env check is inlined so
+    # the hot path never imports the chaos module.  The literal must
+    # match repro.experiments.chaos.CHAOS_ENV.
+    if os.environ.get("REPRO_CHAOS"):
+        from repro.experiments.chaos import active_plan
+
+        plan = active_plan()
+        if plan is not None:
+            plan.before_cell(cell)
     topo, policy, traffic = _build_cell_objects(cell)
     faults = None
     if cell.get("faults"):
@@ -305,6 +427,62 @@ def _point_from_stats(stats: dict) -> SweepPoint:
 
 
 @dataclass
+class CellError:
+    """Structured record of a quarantined cell: what failed and how.
+
+    Surfaced in :attr:`ExperimentResult.failed_cells` and — when the
+    runner has a cache — persisted as a ``failed/<key>.json`` artifact
+    so post-mortems survive the run.
+    """
+
+    key: str
+    cell: dict
+    error: str
+    traceback: str
+    attempts: int
+
+    def to_doc(self) -> dict:
+        """JSON-safe artifact form."""
+        return {
+            "cell": self.cell,
+            "error": self.error,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+
+class SweepCellError(RuntimeError):
+    """Raised by ``run(strict=True)`` when cells were quarantined.
+
+    Carries the quarantined :class:`CellError` records as ``.failed``;
+    the message names the offending cell keys.
+    """
+
+    def __init__(self, message: str, failed: dict):
+        super().__init__(message)
+        self.failed = failed
+
+
+class SweepTimeoutError(RuntimeError):
+    """A chunk exceeded its wall-clock deadline and its workers were
+    killed (recorded as the chunk's failure cause; the chunk is retried
+    and, if it keeps hanging, bisected/quarantined like any failure)."""
+
+
+@dataclass
+class _WorkItem:
+    """One dispatched unit: a chunk of cells plus its retry state."""
+
+    cells: list
+    attempts: int = 0
+    #: earliest monotonic time this item may be (re-)dispatched
+    not_before: float = 0.0
+    #: True once the item was in flight during a pool death — suspects
+    #: run solo so the next death is attributable to exactly one chunk
+    suspect: bool = False
+
+
+@dataclass
 class ExperimentResult:
     """Assembled output of one :meth:`SweepRunner.run` invocation."""
 
@@ -314,6 +492,13 @@ class ExperimentResult:
     cells: dict = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: quarantined cells: cell hash -> :class:`CellError` (empty on a
+    #: clean run; non-strict runs assemble curves from the survivors)
+    failed_cells: dict = field(default_factory=dict)
+    #: chunk execution attempts that failed and were requeued
+    retries: int = 0
+    #: times the worker pool was killed and respawned mid-run
+    pool_restarts: int = 0
 
     def sweep(self, label: str) -> LoadSweep:
         """The curve with ``label`` (exact match)."""
@@ -331,7 +516,8 @@ class ExperimentResult:
 
 
 class SweepRunner:
-    """Runs experiment specs with caching and process-parallel fan-out.
+    """Runs experiment specs with caching, process-parallel fan-out, and
+    crash-resilient scheduling.
 
     Parameters
     ----------
@@ -342,26 +528,62 @@ class SweepRunner:
         ``$REPRO_SWEEP_WORKERS``, defaulting to ``os.cpu_count()``; the
         pool persists across :meth:`run` calls (use :meth:`close` or a
         ``with`` block to reap it eagerly — garbage collection does too).
+    chunk_cells:
+        Cells per dispatched chunk.  ``None`` reads
+        ``$REPRO_SWEEP_CHUNK``, defaulting to a dynamic size targeting
+        :data:`CHUNKS_PER_WORKER` chunks per worker — small chunks keep
+        checkpoint commits fine-grained and kill the static-ordering
+        tail, while topology affinity still amortizes construction.
+
+    Resilience
+    ----------
+    :meth:`run` survives worker deaths (OOM kills, segfaults), hung
+    cells, and poison cells: finished chunks are committed to the cache
+    the moment they arrive (a killed run resumes from the cache), failed
+    chunks are retried with exponential backoff, a broken pool is killed
+    and respawned with only the in-flight chunks re-dispatched, chunks
+    exceeding their wall-clock deadline (``$REPRO_SWEEP_TIMEOUT`` per
+    cell; default derived from cycles x routers) are killed and retried,
+    and a chunk that fails twice is bisected until the offending cell is
+    isolated and quarantined as a :class:`CellError`.  With
+    ``strict=True`` (the default) quarantined cells raise
+    :class:`SweepCellError` *after* the rest of the grid completes; with
+    ``strict=False`` they are reported in
+    :attr:`ExperimentResult.failed_cells` and the surviving cells'
+    curves assemble normally.
 
     Notes
     -----
     Because the pool persists, workers snapshot the environment when
     first spawned: flipping env knobs (``$REPRO_SIM_ENGINE``,
-    ``$REPRO_PATH_CACHE``) between :meth:`run` calls requires
-    :meth:`close` first so the next pool re-reads them.  On platforms
-    whose default start method is *spawn* (macOS, Windows), scripts
-    using a multi-worker runner need the standard
-    ``if __name__ == "__main__":`` guard; set
+    ``$REPRO_PATH_CACHE``, ``$REPRO_SWEEP_TIMEOUT``, ``$REPRO_CHAOS``)
+    between :meth:`run` calls requires :meth:`close` first so the next
+    pool re-reads them.  On platforms whose default start method is
+    *spawn* (macOS, Windows), scripts using a multi-worker runner need
+    the standard ``if __name__ == "__main__":`` guard; set
     ``REPRO_SWEEP_WORKERS=1`` to force inline execution instead.
+    Timeouts are enforced only on the multi-worker path — an inline
+    (serial) run cannot preempt itself.
     """
 
-    def __init__(self, cache: "ResultCache | None" = None, max_workers: "int | None" = None):
+    def __init__(
+        self,
+        cache: "ResultCache | None" = None,
+        max_workers: "int | None" = None,
+        chunk_cells: "int | None" = None,
+    ):
         if max_workers is None:
             max_workers = default_worker_count()
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if chunk_cells is None:
+            env = os.environ.get(CHUNK_ENV, "").strip()
+            chunk_cells = int(env) if env else None
+        if chunk_cells is not None and chunk_cells < 1:
+            raise ValueError("chunk_cells must be >= 1")
         self.cache = cache
         self.max_workers = max_workers
+        self.chunk_cells = chunk_cells
         self._pool: "ProcessPoolExecutor | None" = None
         self._pool_workers = 0
 
@@ -401,25 +623,48 @@ class SweepRunner:
             weakref.finalize(self, self._pool.shutdown, wait=False)
         return self._pool
 
+    def _restart_pool(self, result: "ExperimentResult | None" = None) -> None:
+        """Kill the current pool outright; the next dispatch respawns it.
+
+        Worker processes are SIGKILLed (a hung cell would survive a
+        plain shutdown), so this is the teardown half of both the
+        broken-pool self-healing path and timeout enforcement.
+        """
+        pool, self._pool = self._pool, None
+        self._pool_workers = 0
+        if pool is not None:
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.kill()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        if result is not None:
+            result.pool_restarts += 1
+
     def _chunks(self, missing: list) -> list:
         """Topology-affine, cost-ordered chunks of ``missing``.
 
         Cells are grouped by topology spec (first-seen order) and each
-        group is split into pieces of at most ``ceil(missing/workers)``
-        cells: a chunk never mixes topologies (one fabric/table build
-        per chunk), yet a single big topology still fans out across the
-        whole pool.  Within each group cells are stable-sorted by
-        *descending offered load* first — high-load cells simulate the
-        most flits per cycle, so scheduling the expensive work first
-        evens out the tail instead of leaving one worker grinding a
-        saturated cell after the pool has drained.  Chunking and
-        ordering affect only placement — per-cell results are
-        chunk-invariant by the determinism contract.
+        group is split into pieces of at most ``chunk_cells`` cells
+        (default: ``ceil(missing / (workers * CHUNKS_PER_WORKER))``,
+        i.e. several small chunks per worker): a chunk never mixes
+        topologies (one fabric/table build per chunk), yet a single big
+        topology still fans out across the whole pool, finished work
+        checkpoints frequently, and the pool drains without the
+        static-ordering tail a one-chunk-per-worker split leaves.
+        Within each group cells are stable-sorted by *descending
+        offered load* first — high-load cells simulate the most flits
+        per cycle, so scheduling the expensive work first evens out the
+        tail.  Chunking and ordering affect only placement — per-cell
+        results are chunk-invariant by the determinism contract.
         """
         groups: dict = {}
         for cell in missing:
             groups.setdefault(cell["topology"], []).append(cell)
-        size = max(1, -(-len(missing) // self.max_workers))
+        size = self.chunk_cells or max(
+            1, -(-len(missing) // (self.max_workers * CHUNKS_PER_WORKER))
+        )
         chunks = []
         for group in groups.values():
             group = sorted(group, key=lambda c: -c["load"])
@@ -430,8 +675,18 @@ class SweepRunner:
     # ------------------------------------------------------------------
     # Spec execution
     # ------------------------------------------------------------------
-    def run(self, spec: ExperimentSpec) -> ExperimentResult:
-        """Execute ``spec``: cache lookups, fan-out, curve assembly."""
+    def run(self, spec: ExperimentSpec, strict: bool = True) -> ExperimentResult:
+        """Execute ``spec``: cache lookups, resilient fan-out, assembly.
+
+        Every cell is attempted (with retries, pool self-healing, and
+        poison-cell bisection) before any failure surfaces, and every
+        finished chunk is committed to the cache immediately — so even
+        a strict run that ultimately raises leaves all recoverable work
+        checkpointed.  ``strict=True`` raises :class:`SweepCellError`
+        naming the quarantined cell keys; ``strict=False`` reports them
+        in :attr:`ExperimentResult.failed_cells` and assembles the
+        surviving cells' curves.
+        """
         cells = spec.cells()
         result = ExperimentResult(spec=spec)
 
@@ -446,38 +701,256 @@ class SweepRunner:
 
         if missing:
             result.cache_misses = len(missing)
-            chunks = self._chunks(missing)
-            if self.max_workers > 1 and len(chunks) > 1:
-                pool = self._ensure_pool()
-                try:
-                    stats_chunks = list(pool.map(run_chunk, chunks))
-                except Exception:
-                    # Don't hand a possibly-broken pool (e.g. an
-                    # OOM-killed worker) to the next run() — drop the
-                    # not-yet-started chunks and recreate next time
-                    # rather than blocking on the doomed sweep.
-                    pool.shutdown(cancel_futures=True)
-                    self._pool = None
-                    self._pool_workers = 0
-                    raise
+            if self.max_workers > 1 and len(missing) > 1:
+                self._run_parallel(missing, result)
             else:
-                stats_chunks = [run_chunk(chunk) for chunk in chunks]
-            for chunk, stats_list in zip(chunks, stats_chunks):
-                for cell, stats in zip(chunk, stats_list):
-                    result.cells[cell["key"]] = stats
-                    if self.cache is not None:
-                        self.cache.put(cell["key"], {"cell": cell, "result": stats})
+                self._run_serial(missing, result)
+
+        if result.failed_cells and strict:
+            keys = sorted(result.failed_cells)
+            first = result.failed_cells[keys[0]]
+            raise SweepCellError(
+                f"{len(keys)} cell(s) failed after {MAX_ATTEMPTS} attempts: "
+                + ", ".join(k[:12] for k in keys)
+                + f"; first failure: {first.error}",
+                result.failed_cells,
+            )
 
         # cells() is combo-major then load-major, so the precomputed list
         # partitions into one len(loads) slice per combo — no re-hashing.
+        # Quarantined cells are simply absent from a combo's points.
         per_combo = len(spec.loads)
         for i, combo in enumerate(spec.combos):
             points = [
                 _point_from_stats(result.cells[cell["key"]])
                 for cell in cells[i * per_combo : (i + 1) * per_combo]
+                if cell["key"] in result.cells
             ]
             result.sweeps.append(LoadSweep(combo.label, points))
         return result
+
+    # ------------------------------------------------------------------
+    # Resilient execution paths
+    # ------------------------------------------------------------------
+    def _commit(self, result: ExperimentResult, cell: dict, stats: dict) -> None:
+        """Checkpoint one finished cell: result map + immediate cache put."""
+        result.cells[cell["key"]] = stats
+        if self.cache is not None:
+            self.cache.put(cell["key"], {"cell": cell, "result": stats})
+
+    def _quarantine_cell(
+        self, result: ExperimentResult, cell: dict, exc: BaseException, attempts: int
+    ) -> None:
+        """Record a poison cell as a :class:`CellError` (plus artifact)."""
+        err = CellError(
+            key=cell["key"],
+            cell=cell,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=_format_exception(exc),
+            attempts=attempts,
+        )
+        result.failed_cells[cell["key"]] = err
+        if self.cache is not None:
+            self.cache.put_failure(cell["key"], err.to_doc())
+
+    def _run_serial(self, missing: list, result: ExperimentResult) -> None:
+        """Inline execution with the same retry/quarantine semantics.
+
+        Each cell commits to the cache the moment it finishes, so an
+        interrupted serial sweep (SIGKILL, power loss) resumes from the
+        cache too.  No timeout enforcement — inline execution cannot
+        preempt itself.
+        """
+        for cell in missing:
+            last: "BaseException | None" = None
+            for attempt in range(1, MAX_ATTEMPTS + 1):
+                try:
+                    stats = run_cell(cell)
+                except Exception as exc:
+                    last = exc
+                    result.retries += 1
+                    if attempt < MAX_ATTEMPTS:
+                        time.sleep(_backoff(attempt))
+                    continue
+                self._commit(result, cell, stats)
+                break
+            else:
+                self._quarantine_cell(result, cell, last, MAX_ATTEMPTS)
+
+    def _dispatch(
+        self, item: _WorkItem, inflight: dict, result: ExperimentResult
+    ) -> None:
+        """Submit one work item, respawning the pool if submit fails."""
+        for _ in range(2):
+            pool = self._ensure_pool()
+            try:
+                fut = pool.submit(run_chunk, item.cells)
+            except BrokenExecutor:
+                self._restart_pool(result)
+                continue
+            inflight[fut] = (item, time.monotonic() + _chunk_deadline(item.cells))
+            return
+        raise RuntimeError("worker pool could not be respawned")
+
+    def _requeue_failure(
+        self,
+        item: _WorkItem,
+        exc: BaseException,
+        queue: list,
+        result: ExperimentResult,
+        penalize: bool = True,
+        suspect: bool = False,
+    ) -> None:
+        """Handle one failed chunk attempt: retry, bisect, or quarantine.
+
+        ``penalize=False`` marks collateral damage — a chunk whose
+        future died only because *another* chunk broke the shared pool;
+        it is re-dispatched (as a suspect, so it runs solo and the next
+        pool death is attributable) without burning one of its
+        :data:`MAX_ATTEMPTS`.
+        """
+        result.retries += 1
+        item.suspect = item.suspect or suspect
+        if penalize:
+            item.attempts += 1
+        hold = time.monotonic() + _backoff(max(1, item.attempts))
+        if item.attempts < MAX_ATTEMPTS:
+            item.not_before = hold
+            queue.append(item)
+        elif len(item.cells) == 1:
+            self._quarantine_cell(result, item.cells[0], exc, item.attempts)
+        else:
+            # Bisect: the offending cell is somewhere inside — halve
+            # until it is alone, then quarantine it.  Halves inherit
+            # suspect status (solo execution keeps attribution exact
+            # for worker-killing cells) but start with fresh attempts.
+            mid = len(item.cells) // 2
+            for half in (item.cells[:mid], item.cells[mid:]):
+                queue.append(
+                    _WorkItem(
+                        list(half), not_before=hold, suspect=item.suspect
+                    )
+                )
+
+    def _fill(
+        self, queue: list, inflight: dict, result: ExperimentResult, now: float
+    ) -> None:
+        """Dispatch ready work up to the concurrency limit.
+
+        The limit is *twice* the worker count: the extra chunks sit
+        queued inside the executor so a worker that finishes pulls its
+        next chunk immediately instead of idling for the parent's
+        harvest-and-resubmit round trip (which costs ~10% wall clock on
+        small grids).  A queued chunk's deadline clock starts at submit,
+        so the expiry path cancels never-started futures instead of
+        killing the pool.
+
+        While any suspect chunk exists, exactly one chunk runs at a
+        time (suspects first): a pool death with a single chunk in
+        flight is attributable to that chunk, which is what lets the
+        bisection converge on worker-killing poison cells without
+        quarantining innocent bystanders.
+        """
+        has_suspect = any(i.suspect for i in queue) or any(
+            it.suspect for it, _ in inflight.values()
+        )
+        if has_suspect:
+            if not inflight:
+                item = self._pop_ready(queue, now, suspect_first=True)
+                if item is not None:
+                    self._dispatch(item, inflight, result)
+            return
+        while len(inflight) < 2 * self.max_workers:
+            item = self._pop_ready(queue, now)
+            if item is None:
+                break
+            self._dispatch(item, inflight, result)
+
+    @staticmethod
+    def _pop_ready(queue: list, now: float, suspect_first: bool = False):
+        """Remove and return a dispatchable item, or None."""
+        ready = [
+            (i, item) for i, item in enumerate(queue) if item.not_before <= now
+        ]
+        if not ready:
+            return None
+        if suspect_first:
+            for i, item in ready:
+                if item.suspect:
+                    del queue[i]
+                    return item
+        i, item = ready[0]
+        del queue[i]
+        return item
+
+    def _run_parallel(self, missing: list, result: ExperimentResult) -> None:
+        """The as-completed scheduler: dispatch, harvest, heal, repeat."""
+        queue = [_WorkItem(list(chunk)) for chunk in self._chunks(missing)]
+        inflight: dict = {}  # future -> (_WorkItem, deadline)
+        while queue or inflight:
+            now = time.monotonic()
+            self._fill(queue, inflight, result, now)
+            if not inflight:
+                # Everything dispatchable is backing off; sleep to the
+                # earliest release instead of spinning.
+                delay = min(i.not_before for i in queue) - time.monotonic()
+                if delay > 0:
+                    time.sleep(min(delay, BACKOFF_CAP_S))
+                continue
+            done, _ = wait(
+                list(inflight), timeout=_POLL_S, return_when=FIRST_COMPLETED
+            )
+            round_inflight = len(inflight)
+            broken = False
+            for fut in done:
+                item, _deadline = inflight.pop(fut)
+                exc = fut.exception()
+                if exc is None:
+                    for cell, stats in zip(item.cells, fut.result()):
+                        self._commit(result, cell, stats)
+                elif isinstance(exc, BrokenExecutor):
+                    # A worker died.  With exactly one chunk in flight
+                    # the guilt is certain; otherwise every in-flight
+                    # chunk becomes a solo-run suspect.
+                    broken = True
+                    self._requeue_failure(
+                        item, exc, queue, result,
+                        penalize=(round_inflight == 1), suspect=True,
+                    )
+                else:
+                    # In-worker exception: the pool survives and the
+                    # failure attributes to exactly this chunk.
+                    self._requeue_failure(item, exc, queue, result)
+            now = time.monotonic()
+            expired = [f for f, (_, dl) in inflight.items() if now > dl]
+            for fut in expired:
+                item, _deadline = inflight.pop(fut)
+                if fut.cancel():
+                    # Never started running — its deadline clock was
+                    # ticking in the executor's queue, not in a worker.
+                    # Requeue as-is; dispatch restarts the clock.
+                    queue.append(item)
+                    continue
+                broken = True  # running workers can't be preempted: kill
+                self._requeue_failure(
+                    item,
+                    SweepTimeoutError(
+                        f"chunk of {len(item.cells)} cell(s) exceeded its "
+                        f"{_chunk_deadline(item.cells):.1f}s deadline"
+                    ),
+                    queue, result, suspect=True,
+                )
+            if broken:
+                self._restart_pool(result)
+                # Remaining in-flight futures belonged to the killed
+                # pool: reap them back into the queue as unpenalized
+                # suspects and let solo re-runs sort guilt out.
+                for fut, (item, _deadline) in list(inflight.items()):
+                    self._requeue_failure(
+                        item, BrokenExecutor("pool killed mid-flight"),
+                        queue, result, penalize=False, suspect=True,
+                    )
+                inflight.clear()
 
     # ------------------------------------------------------------------
     # Object execution (pre-built topology/policy/traffic)

@@ -28,7 +28,7 @@ from repro.experiments.registry import (
 )
 from repro.utils.rng import derive_seed
 
-__all__ = ["Combo", "ExperimentSpec", "cell_hash", "CELL_VERSION"]
+__all__ = ["Combo", "ExperimentSpec", "cell_hash", "cell_cost", "CELL_VERSION"]
 
 #: bump to invalidate cached artifacts when cell semantics change
 #: (4: dynamic fault-injection cells — optional fault axis; fault-free
@@ -245,6 +245,20 @@ def cell_hash(cell: dict) -> str:
     doc = {k: v for k, v in cell.items() if k not in ("key", "version")}
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def cell_cost(cell: dict) -> int:
+    """Simulated-cycle count of a cell — the scheduler's cost unit.
+
+    Open-loop cells simulate exactly ``warmup + measure + drain``
+    cycles; closed-loop (workload) cells are bounded by ``max_cycles``.
+    The runner derives per-cell wall-clock timeouts from this.
+    """
+    if cell.get("workload"):
+        return int(cell.get("max_cycles", 200_000))
+    return int(
+        cell.get("warmup", 0) + cell.get("measure", 0) + cell.get("drain", 0)
+    )
 
 
 def _aslist(x):

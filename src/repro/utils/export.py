@@ -8,6 +8,7 @@ manifest matching the paper's modular deployment story (Section V).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -19,7 +20,12 @@ __all__ = [
     "cabling_manifest",
     "write_json_artifact",
     "read_json_artifact",
+    "payload_checksum",
+    "CHECKSUM_KEY",
 ]
+
+#: reserved key carrying an artifact's embedded payload checksum
+CHECKSUM_KEY = "__sha256__"
 
 # NOTE: this module deliberately avoids importing repro.topologies —
 # utils must stay import-cycle-free since the topology layer builds on it.
@@ -54,15 +60,33 @@ def to_json(topo) -> str:
     return json.dumps(doc, indent=2)
 
 
-def write_json_artifact(path, doc: dict) -> Path:
+def payload_checksum(doc: dict) -> str:
+    """sha256 over the canonical (sorted, compact) JSON form of ``doc``.
+
+    Canonicalization makes the digest stable across the write/read round
+    trip: ``repr``-serialized floats survive exactly, and key order or
+    indentation cannot perturb it.
+    """
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def write_json_artifact(path, doc: dict, checksum: bool = False) -> Path:
     """Atomically write ``doc`` as JSON to ``path``, creating parents.
 
     Write-then-rename so a crashed or concurrent writer can never leave a
     half-written artifact for a reader (the experiment result cache reads
-    and writes these from parallel sweep workers).
+    and writes these from parallel sweep workers).  With ``checksum``
+    the document is stamped with a :data:`CHECKSUM_KEY` payload digest
+    that :func:`read_json_artifact` verifies — catching corruption that
+    still parses as JSON (partial truncation at a token boundary,
+    bit rot, hand edits).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    if checksum and isinstance(doc, dict):
+        payload = {k: v for k, v in doc.items() if k != CHECKSUM_KEY}
+        doc = {**payload, CHECKSUM_KEY: payload_checksum(payload)}
     tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
     tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))
     os.replace(tmp, path)
@@ -70,16 +94,28 @@ def write_json_artifact(path, doc: dict) -> Path:
 
 
 def read_json_artifact(path) -> "dict | None":
-    """Load a JSON artifact; ``None`` if missing or unparsable.
+    """Load a JSON artifact; ``None`` if missing, unparsable, or failing
+    its embedded checksum.
 
-    Corrupt artifacts (interrupted writes predating the atomic-rename
-    discipline, disk faults) are treated as cache misses, not errors.
+    Corrupt artifacts — truncated writes from non-atomic third-party
+    writers or disk-full crashes (``json.JSONDecodeError``), undecodable
+    bytes, or a checksum mismatch — are treated as cache misses, never
+    errors: the sweep runner re-simulates the cell instead of dying.
+    Artifacts without a :data:`CHECKSUM_KEY` (pre-checksum writers,
+    plain exports) are returned as-is.
     """
     path = Path(path)
     try:
-        return json.loads(path.read_text())
+        doc = json.loads(path.read_text())
     except (OSError, ValueError):
+        # ValueError covers json.JSONDecodeError (truncated/garbled
+        # JSON) and UnicodeDecodeError (binary junk) alike.
         return None
+    if isinstance(doc, dict) and CHECKSUM_KEY in doc:
+        expected = doc.pop(CHECKSUM_KEY)
+        if payload_checksum(doc) != expected:
+            return None
+    return doc
 
 
 def cabling_manifest(layout) -> dict:

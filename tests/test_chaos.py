@@ -1,0 +1,226 @@
+"""Chaos matrix: the resilient scheduler under injected faults.
+
+Every scenario asserts the headline contract — results under chaos are
+bit-identical to a clean single-worker run — plus the scenario-specific
+bookkeeping (restarts, retries, quarantines, checkpoints).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments import ExperimentSpec, ResultCache, SweepRunner
+from repro.experiments.chaos import ChaosError, ChaosPlan, active_plan, parse_plan
+from repro.experiments.runner import SweepCellError
+
+FAST = dict(warmup=80, measure=160, drain=40)
+
+
+def chaos_spec(**overrides):
+    kwargs = dict(loads=(0.2, 0.4, 0.6, 0.8), root_seed=7, **FAST)
+    kwargs.update(overrides)
+    return ExperimentSpec.grid(
+        ["polarfly:conc=2,q=5"], ["min"], ["uniform"], **kwargs
+    )
+
+
+@pytest.fixture(scope="module")
+def clean():
+    """The ground truth: a clean serial, cache-free run."""
+    return SweepRunner(cache=None, max_workers=1).run(chaos_spec())
+
+
+class TestPlanParsing:
+    def test_roundtrip(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(
+            "REPRO_CHAOS", f"kill=2,delay_ms=1.5,raise_key=ab,dir={tmp_path}"
+        )
+        plan = active_plan()
+        assert plan == ChaosPlan(
+            kill=2, delay_ms=1.5, raise_key="ab", dir=str(tmp_path)
+        )
+
+    def test_unset_means_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert active_plan() is None
+
+    def test_dir_falls_back_to_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CHAOS", "kill=1")
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path))
+        assert active_plan().dir == str(tmp_path)
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(ChaosError):
+            parse_plan("kill=1,bogus=2")
+        with pytest.raises(ChaosError):
+            parse_plan("kill")
+
+    def test_one_shot_faults_require_dir(self):
+        with pytest.raises(ChaosError, match="marker directory"):
+            ChaosPlan(kill=1).before_cell({"key": "ab"})
+
+
+class TestWorkerKill:
+    def test_pool_self_heals_and_results_match(
+        self, clean, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", f"kill=1,dir={tmp_path}")
+        with SweepRunner(cache=None, max_workers=2) as runner:
+            r = runner.run(chaos_spec())
+        assert r.cells == clean.cells
+        assert not r.failed_cells
+        assert r.pool_restarts >= 1
+        assert r.retries >= 1
+
+    def test_interrupted_run_resumes_from_checkpoints(
+        self, clean, tmp_path
+    ):
+        """SIGKILL the whole run mid-sweep; a rerun simulates only the
+        unfinished cells (checkpointed commits survive the crash)."""
+        spec = chaos_spec()
+        kill_key = spec.cells()[2]["key"]
+        child = (
+            "import os\n"
+            "from repro.experiments import ExperimentSpec, ResultCache, SweepRunner\n"
+            f"spec = ExperimentSpec.grid(['polarfly:conc=2,q=5'], ['min'],"
+            f" ['uniform'], loads=(0.2, 0.4, 0.6, 0.8), root_seed=7,"
+            f" warmup={FAST['warmup']}, measure={FAST['measure']},"
+            f" drain={FAST['drain']})\n"
+            "SweepRunner(cache=ResultCache(os.environ['CACHE']),"
+            " max_workers=1).run(spec)\n"
+        )
+        cache_dir, marker_dir = tmp_path / "cache", tmp_path / "markers"
+        env = dict(
+            os.environ,
+            PYTHONPATH=os.pathsep.join(sys.path),
+            CACHE=str(cache_dir),
+            REPRO_CHAOS=f"kill_key={kill_key[:16]},dir={marker_dir}",
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", child], env=env,
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        cache = ResultCache(cache_dir)
+        assert len(cache) == 2  # the two cells before the kill
+        r = SweepRunner(cache=cache, max_workers=1).run(chaos_spec())
+        assert r.cache_hits == 2 and r.cache_misses == 2
+        assert r.cells == clean.cells
+
+    def test_hung_cell_times_out_and_recovers(
+        self, clean, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", f"hang=1,hang_s=60,dir={tmp_path}")
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "0.5")
+        with SweepRunner(cache=None, max_workers=2) as runner:
+            r = runner.run(chaos_spec())
+        assert r.cells == clean.cells
+        assert not r.failed_cells
+        assert r.pool_restarts >= 1
+
+
+class TestRetryAndQuarantine:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_transient_failure_retried(
+        self, clean, monkeypatch, tmp_path, workers
+    ):
+        key = chaos_spec().cells()[1]["key"]
+        monkeypatch.setenv(
+            "REPRO_CHAOS", f"flaky_key={key[:16]},dir={tmp_path / str(workers)}"
+        )
+        with SweepRunner(cache=None, max_workers=workers) as runner:
+            r = runner.run(chaos_spec())
+        assert r.cells == clean.cells
+        assert not r.failed_cells
+        assert r.retries >= 1
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_poison_cell_quarantined_not_fatal(
+        self, clean, monkeypatch, tmp_path, workers
+    ):
+        spec = chaos_spec()
+        key = spec.cells()[1]["key"]
+        monkeypatch.setenv("REPRO_CHAOS", f"raise_key={key[:16]}")
+        cache = ResultCache(tmp_path / str(workers))
+        with SweepRunner(cache=cache, max_workers=workers) as runner:
+            r = runner.run(spec, strict=False)
+        assert set(r.failed_cells) == {key}
+        err = r.failed_cells[key]
+        assert err.attempts == 2
+        assert "ChaosError" in err.traceback and "poison" in err.error
+        # every other cell completed, bit-identical
+        good = {k: v for k, v in clean.cells.items() if k != key}
+        assert r.cells == good
+        assert len(r.sweeps) == 1 and len(r.sweeps[0].points) == 3
+        # the failure is a durable artifact (post-mortem evidence)
+        doc = cache.get_failure(key)
+        assert doc is not None and "ChaosError" in doc["traceback"]
+        assert doc["cell"]["key"] == key
+
+    def test_strict_raises_naming_cell(self, monkeypatch):
+        spec = chaos_spec()
+        key = spec.cells()[1]["key"]
+        monkeypatch.setenv("REPRO_CHAOS", f"raise_key={key[:16]}")
+        with SweepRunner(cache=None, max_workers=1) as runner:
+            with pytest.raises(SweepCellError, match=key[:12]) as exc:
+                runner.run(spec, strict=True)
+        assert set(exc.value.failed) == {key}
+
+    def test_bisection_isolates_poison_in_chunk(self, monkeypatch):
+        """A poison cell inside a 4-cell chunk is bisected down to the
+        single offender; its chunk-mates still complete."""
+        spec = chaos_spec(loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8))
+        clean = SweepRunner(cache=None, max_workers=1).run(spec)
+        key = spec.cells()[3]["key"]
+        monkeypatch.setenv("REPRO_CHAOS", f"raise_key={key[:16]}")
+        with SweepRunner(cache=None, max_workers=2, chunk_cells=4) as runner:
+            r = runner.run(spec, strict=False)
+        assert set(r.failed_cells) == {key}
+        good = {k: v for k, v in clean.cells.items() if k != key}
+        assert r.cells == good
+
+
+class TestCorruptArtifacts:
+    def test_truncated_artifact_quarantined_and_resimulated(
+        self, clean, monkeypatch, tmp_path
+    ):
+        spec = chaos_spec()
+        cache = ResultCache(tmp_path / "cache")
+        monkeypatch.setenv(
+            "REPRO_CHAOS", f"corrupt=1,dir={tmp_path / 'markers'}"
+        )
+        SweepRunner(cache=cache, max_workers=1).run(spec)
+        assert len(cache) == len(spec.cells())  # truncated one still counted
+        monkeypatch.delenv("REPRO_CHAOS")
+        r = SweepRunner(cache=cache, max_workers=1).run(spec)
+        assert r.cache_hits == len(spec.cells()) - 1
+        assert r.cache_misses == 1
+        assert r.cells == clean.cells
+        assert len(list(cache.corrupt_dir.glob("*.json*"))) == 1
+        # the re-simulated artifact replaced the truncated one cleanly
+        assert SweepRunner(cache=cache, max_workers=1).run(spec).cache_hits == len(
+            spec.cells()
+        )
+
+
+class TestPoolRecreation:
+    def test_pool_recreated_after_external_worker_death(self, clean):
+        """Workers killed out from under the pool (OOM killer, operator)
+        must not wedge the runner: the pool is rebuilt and the sweep
+        completes."""
+        with SweepRunner(cache=None, max_workers=2) as runner:
+            first = runner.run(chaos_spec())
+            pool = runner._pool
+            assert pool is not None
+            for proc in list(pool._processes.values()):
+                proc.kill()
+            r = runner.run(chaos_spec())
+            assert runner._pool is not None and runner._pool is not pool
+            assert r.pool_restarts >= 1
+            assert not r.failed_cells
+            assert r.cells == first.cells == clean.cells
+            # and the healed pool keeps working
+            assert runner.run(chaos_spec()).cells == clean.cells

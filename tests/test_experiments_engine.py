@@ -256,3 +256,56 @@ class TestAutoConfig:
         assert cfg.num_vcs == 6 and cfg.vc_depth == 5
         cfg = auto_sim_config(policy, num_vcs=4, vc_depth=2)
         assert (cfg.num_vcs, cfg.vc_depth) == (4, 2)
+
+
+class TestCacheHardening:
+    """The cache's corruption-quarantine and shard-hygiene contracts."""
+
+    def put_some(self, cache, n=3):
+        for i in range(n):
+            cache.put(f"{i:02x}{'ab' * 31}", {"cell": {"i": i}, "result": {"x": i}})
+
+    def test_len_and_clear_ignore_quarantine_dirs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self.put_some(cache)
+        cache.quarantine(f"00{'ab' * 31}")
+        cache.put_failure("ff" * 32, {"error": "boom"})
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        # quarantined evidence survives a clear
+        assert len(list(cache.corrupt_dir.glob("*.json*"))) == 1
+        assert cache.get_failure("ff" * 32) is not None
+
+    def test_clear_removes_empty_shard_dirs(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self.put_some(cache)
+        shards = [p for p in cache.root.glob("??") if p.is_dir()]
+        assert shards
+        cache.clear()
+        assert not [p for p in cache.root.glob("??") if p.is_dir()]
+
+    def test_get_quarantines_unreadable_artifact(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = f"00{'ab' * 31}"
+        cache.put(key, {"result": {"x": 1}})
+        cache.path_for(key).write_text('{"trunc')
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+        assert len(list(cache.corrupt_dir.glob(f"{key}.json*"))) == 1
+        # re-put after quarantine round-trips again
+        cache.put(key, {"result": {"x": 2}})
+        assert cache.get(key) == {"result": {"x": 2}}
+
+    def test_checksum_tamper_detected_as_miss(self, tmp_path):
+        import json as _json
+
+        cache = ResultCache(tmp_path)
+        key = f"00{'ab' * 31}"
+        path = cache.put(key, {"result": {"avg_latency": 9.25}})
+        doc = _json.loads(path.read_text())
+        assert "__sha256__" in doc
+        doc["result"]["avg_latency"] = 1.0  # stale checksum kept
+        path.write_text(_json.dumps(doc))
+        assert cache.get(key) is None  # tamper → quarantined miss
+        assert len(list(cache.corrupt_dir.glob(f"{key}.json*"))) == 1

@@ -69,3 +69,54 @@ class TestCablingManifest:
             v for r in manifest["racks"].values() for v in r["members"]
         )
         assert all_members == list(range(pf.num_routers))
+
+
+class TestJsonArtifacts:
+    """Hardened artifact I/O: misses instead of crashes, checksums."""
+
+    def test_truncated_artifact_is_none(self, tmp_path):
+        from repro.utils.export import read_json_artifact, write_json_artifact
+
+        path = write_json_artifact(tmp_path / "a.json", {"x": 1})
+        data = path.read_text()
+        path.write_text(data[: len(data) // 2])
+        assert read_json_artifact(path) is None
+
+    def test_missing_and_binary_are_none(self, tmp_path):
+        from repro.utils.export import read_json_artifact
+
+        assert read_json_artifact(tmp_path / "nope.json") is None
+        bad = tmp_path / "junk.json"
+        bad.write_bytes(b"\xff\xfe\x00garbage")
+        assert read_json_artifact(bad) is None
+
+    def test_checksum_roundtrip_strips_key(self, tmp_path):
+        import json
+
+        from repro.utils.export import (
+            CHECKSUM_KEY,
+            read_json_artifact,
+            write_json_artifact,
+        )
+
+        doc = {"result": {"avg_latency": 9.577777777777778, "nested": [1, 2]}}
+        path = write_json_artifact(tmp_path / "a.json", doc, checksum=True)
+        assert CHECKSUM_KEY in json.loads(path.read_text())
+        assert read_json_artifact(path) == doc  # checksum verified + stripped
+
+    def test_checksum_mismatch_is_none(self, tmp_path):
+        import json
+
+        from repro.utils.export import read_json_artifact, write_json_artifact
+
+        path = write_json_artifact(tmp_path / "a.json", {"x": 1}, checksum=True)
+        doc = json.loads(path.read_text())
+        doc["x"] = 2  # stale checksum kept
+        path.write_text(json.dumps(doc))
+        assert read_json_artifact(path) is None
+
+    def test_legacy_artifact_without_checksum_reads(self, tmp_path):
+        from repro.utils.export import read_json_artifact, write_json_artifact
+
+        path = write_json_artifact(tmp_path / "a.json", {"x": 1})
+        assert read_json_artifact(path) == {"x": 1}

@@ -4,6 +4,7 @@
     PYTHONPATH=src python tools/bench.py [--out PATH] [--measure N]
         [--warmup N] [--cells name,name] [--check RATIO]
         [--no-construction] [--check-construction SLACK]
+        [--no-sweep-resilience]
 
 ``--check RATIO`` exits nonzero when any benchmarked cell's
 flat-over-reference speedup falls below RATIO — the CI perf job runs
@@ -13,7 +14,10 @@ record a kernel-over-numpy speedup (the flat engine timed with and
 without the C cycle kernel); the same RATIO gates it, so losing the
 kernel path's advantage on closed-loop/fault cells fails too.  When no
 compiler is present the kernel cells are skipped with a visible notice
-instead of gating a meaningless 1x ratio.
+instead of gating a meaningless 1x ratio.  The ``sweep_resilience``
+section times the crash-resilient sweep scheduler against a bare
+``pool.map`` of the same grid; ``--check`` fails the run when the
+scheduler's clean-path overhead exceeds its committed gate.
 
 ``--check-construction SLACK`` guards the construction trajectory: the
 previously committed ``--out`` file is read *before* it is overwritten,
@@ -89,6 +93,11 @@ def main(argv=None) -> int:
         help="skip the sparse-tier (flat-engine-only) scale cells",
     )
     parser.add_argument(
+        "--no-sweep-resilience",
+        action="store_true",
+        help="skip the sweep-scheduler overhead cell",
+    )
+    parser.add_argument(
         "--check-construction",
         type=float,
         default=None,
@@ -126,6 +135,7 @@ def main(argv=None) -> int:
         workloads=not args.no_workloads,
         faults=not args.no_faults,
         scale=not args.no_scale,
+        sweep_resilience=not args.no_sweep_resilience,
     )
     path = write_bench_json(doc, args.out)
 
@@ -225,6 +235,20 @@ def main(argv=None) -> int:
         if "speedup_kernel_over_numpy" in entry:
             line += f"   kernel {entry['speedup_kernel_over_numpy']:.2f}x"
         print(line)
+
+    sr = doc.get("sweep_resilience")
+    if sr:
+        overhead = sr["overhead_vs_pool_map"]
+        print(
+            f"{'sweep_resilience':28s} scheduler {sr['scheduler_s']:.2f} s   "
+            f"pool.map {sr['pool_map_s']:.2f} s   overhead {overhead:.2f}x "
+            f"(gate {sr['max_overhead']:.2f}x)"
+        )
+        if args.check is not None and overhead > sr["max_overhead"]:
+            failed.append(
+                f"sweep_resilience: scheduler overhead {overhead:.2f}x > "
+                f"allowed {sr['max_overhead']:.2f}x over pool.map"
+            )
 
     if args.check_construction is not None and not args.no_construction:
         gate = doc["construction"][CONSTRUCTION_GATE]["routing_tables"]
