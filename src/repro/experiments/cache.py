@@ -26,6 +26,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+from repro.obs import counter, emit
 from repro.utils.export import read_json_artifact, write_json_artifact
 
 __all__ = ["ResultCache"]
@@ -83,7 +84,10 @@ class ResultCache:
         path = self.path_for(key)
         doc = read_json_artifact(path)
         if doc is None and path.is_file():
+            counter("cache.corrupt").inc()
+            emit("cache.corrupt", key=key)
             self.quarantine(key)
+        counter("cache.hits" if doc is not None else "cache.misses").inc()
         return doc
 
     def put(self, key: str, doc: dict) -> Path:
@@ -114,6 +118,7 @@ class ResultCache:
         src = self.path_for(key)
         if not src.is_file():
             return None
+        counter("cache.quarantined").inc()
         self.corrupt_dir.mkdir(parents=True, exist_ok=True)
         dest = self.corrupt_dir / src.name
         n = 0

@@ -18,11 +18,13 @@ importable directly.
 from __future__ import annotations
 
 import contextlib
+import os
 import platform
 import time
 
 import numpy as np
 
+from repro import obs
 from repro.experiments.registry import POLICIES, TOPOLOGIES, TRAFFICS
 from repro.experiments.runner import auto_sim_config
 from repro.flitsim._kernel import load_kernel, numpy_fallback
@@ -40,7 +42,9 @@ __all__ = [
     "FAULT_CELLS",
     "CLOSED_LOOP_ENGINES",
     "SWEEP_RESILIENCE_MAX_OVERHEAD",
+    "OBS_OVERHEAD_MAX",
     "bench_cell",
+    "bench_obs_overhead",
     "bench_sweep_resilience",
     "bench_workload_cell",
     "bench_fault_cell",
@@ -51,6 +55,7 @@ __all__ = [
     "run_workload_benchmarks",
     "run_fault_benchmarks",
     "run_sweep_resilience_benchmark",
+    "run_obs_overhead_benchmark",
     "run_benchmarks",
     "machine_info",
     "write_bench_json",
@@ -170,6 +175,11 @@ CLOSED_LOOP_ENGINES = ("reference", "flat-numpy", "flat")
 #: statically pre-split chunks on the same grid and pool size.
 SWEEP_RESILIENCE_MAX_OVERHEAD = 1.05
 
+#: CI gate for observability: with ``$REPRO_OBS`` unset, the fully
+#: instrumented serial execution path may cost at most this factor over
+#: the seed execution spine (a bare ``run_cell`` loop on the same cells).
+OBS_OVERHEAD_MAX = 1.03
+
 
 def _engine_ctx(engine: str):
     """(real engine name, construction context) for one engine label."""
@@ -221,17 +231,28 @@ def bench_cell(
     Objects are built once per engine run (fresh simulator each time,
     same seed — the engines are result-equivalent, so both time the
     exact same simulated work).  Returns per-engine wall/cycles-per-sec
-    plus the flat-over-reference speedup.
+    plus the flat-over-reference speedup, and a ``phases`` section
+    splitting the wall into construct (topology build), route (tables +
+    policy + traffic), and simulate (summed engine loops) — each phase
+    also emitted as a ``bench.phase`` span when ``$REPRO_OBS`` is on.
     """
     from repro.routing.tables import RoutingTables
 
-    topo = TOPOLOGIES.create(cell["topology"])
-    tables = RoutingTables(topo)
-    policy = POLICIES.create(cell["policy"], tables)
-    traffic = TRAFFICS.create(cell["traffic"], topo)
+    topo, policy, traffic = None, None, None
+    with obs.span("bench.phase", phase="construct"):
+        t0 = time.perf_counter()
+        topo = TOPOLOGIES.create(cell["topology"])
+        construct_s = time.perf_counter() - t0
+    with obs.span("bench.phase", phase="route"):
+        t0 = time.perf_counter()
+        tables = RoutingTables(topo)
+        policy = POLICIES.create(cell["policy"], tables)
+        traffic = TRAFFICS.create(cell["traffic"], topo)
+        route_s = time.perf_counter() - t0
     config = auto_sim_config(policy)
     cycles = warmup + measure
     result: dict = {"cell": dict(cell), "cycles": cycles, "engines": {}}
+    simulate_s = 0.0
     for engine in _resolve_engines(engines):
         real, ctx = _engine_ctx(engine)
         with ctx:
@@ -239,14 +260,21 @@ def bench_cell(
                 topo, policy, traffic, cell["load"], config=config,
                 seed=seed, engine=real,
             )
-        start = time.perf_counter()
-        for _ in range(cycles):
-            sim.step()
-        wall = time.perf_counter() - start
+        with obs.span("bench.phase", phase="simulate", engine=engine):
+            start = time.perf_counter()
+            for _ in range(cycles):
+                sim.step()
+            wall = time.perf_counter() - start
+        simulate_s += wall
         result["engines"][engine] = {
             "wall_s": wall,
             "cycles_per_sec": cycles / wall,
         }
+    result["phases"] = {
+        "construct_s": construct_s,
+        "route_s": route_s,
+        "simulate_s": simulate_s,
+    }
     _add_speedups(result)
     return result
 
@@ -455,6 +483,82 @@ def bench_sweep_resilience(
 def run_sweep_resilience_benchmark(seed: int = 1) -> dict:
     """The ``sweep_resilience`` section of ``BENCH_flitsim.json``."""
     return bench_sweep_resilience(seed=seed)
+
+
+def bench_obs_overhead(repeats: int = 5, seed: int = 1) -> dict:
+    """Observability tax on the disabled path: instrumented vs seed.
+
+    With ``$REPRO_OBS`` unset, every wired emit/span/counter call must
+    collapse to (at most) one env lookup.  This cell proves it end to
+    end: per round it times the fully instrumented serial execution
+    path — ``SweepRunner(max_workers=1).run()`` with its lifecycle
+    emits, heartbeat checks, per-cell spans, and cache counters all
+    disabled — against the seed execution spine, a bare ``run_cell``
+    loop over the same cells.  Rounds interleave the two sides so
+    CPU-frequency/box-load drift hits both equally (the
+    ``bench_sweep_resilience`` methodology); the gated number is the
+    *best-of-rounds* ratio — min instrumented wall over min bare wall,
+    the noise-robust estimator: a transient stall in one round cannot
+    fail the gate, only a cost paid in every round can.  Checked at
+    :data:`OBS_OVERHEAD_MAX` by ``tools/bench.py --check``; per-round
+    ratios are recorded alongside.  An *enabled*-side ratio (events
+    actually written to a scratch dir) is recorded for information but
+    never gated — writing JSONL costs what it costs.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments.runner import SweepRunner, run_cell
+    from repro.experiments.spec import ExperimentSpec
+
+    spec = ExperimentSpec.grid(
+        ["polarfly:conc=2,q=7"], ["ugal-pf"], ["uniform"],
+        loads=tuple(0.1 + 0.1 * i for i in range(8)),
+        warmup=150, measure=400, drain=100, root_seed=seed,
+    )
+    cells = spec.cells()
+    runner = SweepRunner(cache=None, max_workers=1)
+    disabled_s = bare_s = float("inf")
+    ratios = []
+    # Warm the construction memo so neither side pays first-build cost.
+    for cell in cells:
+        run_cell(cell)
+    runner.run(spec)
+    for _ in range(repeats):
+        _, s = _timed(lambda: runner.run(spec))
+        _, b = _timed(lambda: [run_cell(cell) for cell in cells])
+        disabled_s = min(disabled_s, s)
+        bare_s = min(bare_s, b)
+        ratios.append(s / b)
+
+    # Informational: the same serial run with events flowing to disk.
+    tmp = tempfile.mkdtemp(prefix="repro-obs-bench-")
+    saved = os.environ.get(obs.OBS_ENV)
+    try:
+        os.environ[obs.OBS_ENV] = f"dir={tmp},sample=1"
+        _, enabled_s = _timed(lambda: runner.run(spec), repeats=2)
+    finally:
+        if saved is None:
+            os.environ.pop(obs.OBS_ENV, None)
+        else:
+            os.environ[obs.OBS_ENV] = saved
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    return {
+        "grid": {"cells": len(cells), "repeats": repeats},
+        "disabled_s": disabled_s,
+        "bare_s": bare_s,
+        "enabled_s": enabled_s,
+        "round_ratios": ratios,
+        "overhead_disabled_vs_seed": disabled_s / bare_s,
+        "overhead_enabled_vs_disabled": enabled_s / disabled_s,
+        "max_overhead": OBS_OVERHEAD_MAX,
+    }
+
+
+def run_obs_overhead_benchmark(seed: int = 1) -> dict:
+    """The ``obs_overhead`` section of ``BENCH_flitsim.json``."""
+    return bench_obs_overhead(seed=seed)
 
 
 def run_workload_benchmarks(
@@ -691,6 +795,7 @@ def run_benchmarks(
     faults: bool = True,
     scale: bool = True,
     sweep_resilience: bool = True,
+    obs_overhead: bool = True,
 ) -> dict:
     """Run every cell and assemble the ``BENCH_flitsim.json`` document."""
     cells = CANONICAL_CELLS if cells is None else cells
@@ -720,6 +825,8 @@ def run_benchmarks(
         doc["scale"] = run_scale_benchmarks(seed=seed)
     if sweep_resilience:
         doc["sweep_resilience"] = run_sweep_resilience_benchmark(seed=seed)
+    if obs_overhead:
+        doc["obs_overhead"] = run_obs_overhead_benchmark(seed=seed)
     return doc
 
 

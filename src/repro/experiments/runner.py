@@ -33,6 +33,7 @@ default worker count is ``os.cpu_count()``, overridable with
 from __future__ import annotations
 
 import os
+import sys
 import time
 import traceback as _traceback
 import weakref
@@ -44,6 +45,7 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.experiments.cache import ResultCache
 from repro.experiments.registry import (
     FAULTS,
@@ -85,6 +87,14 @@ TIMEOUT_ENV = "REPRO_SWEEP_TIMEOUT"
 
 #: environment override for the cells-per-chunk size
 CHUNK_ENV = "REPRO_SWEEP_CHUNK"
+
+#: progress heartbeat: seconds between one-line stderr summaries (off
+#: unless set; independent of ``REPRO_OBS``)
+PROGRESS_ENV = "REPRO_SWEEP_PROGRESS"
+
+#: heartbeat cadence for ``sweep.progress`` events when only
+#: ``REPRO_OBS`` is configured (no explicit ``REPRO_SWEEP_PROGRESS``)
+_OBS_PROGRESS_DEFAULT_S = 5.0
 
 #: default chunk sizing: aim for this many chunks per worker, so the
 #: grid drains without a static-ordering tail and checkpoint commits
@@ -187,6 +197,101 @@ def _format_exception(exc: BaseException) -> str:
         _traceback.format_exception(type(exc), exc, exc.__traceback__)
     )
 
+
+def _chunk_label(cells: list) -> str:
+    """Stable short identity for a chunk in event streams: the first
+    cell's key prefix (bisection halves get distinct labels)."""
+    return cells[0]["key"][:12] if cells else "-"
+
+
+class _Heartbeat:
+    """Periodic sweep progress: a one-line stderr summary when
+    ``$REPRO_SWEEP_PROGRESS`` is set (seconds interval), and/or
+    ``sweep.progress`` events when ``$REPRO_OBS`` is configured.
+
+    Inert (every call a no-op after one attribute check) when neither
+    knob is set.  ``final()`` always prints one closing summary line
+    when printing is enabled, even for runs shorter than the interval.
+    """
+
+    __slots__ = (
+        "result", "total", "interval", "print_line", "obs_on",
+        "t0", "start_done", "next_beat",
+    )
+
+    def __init__(self, result: "ExperimentResult", total: int):
+        self.result = result
+        self.total = total
+        self.print_line = False
+        interval = None
+        env = os.environ.get(PROGRESS_ENV, "").strip()
+        if env:
+            try:
+                interval = max(0.1, float(env))
+                self.print_line = True
+            except ValueError:
+                pass
+        self.obs_on = obs.enabled()
+        if interval is None and self.obs_on:
+            interval = _OBS_PROGRESS_DEFAULT_S
+        self.interval = interval
+        self.t0 = time.monotonic()
+        self.start_done = len(result.cells)
+        self.next_beat = (
+            self.t0 + interval if interval is not None else float("inf")
+        )
+
+    def maybe_beat(self, now: "float | None" = None) -> None:
+        if self.interval is None:
+            return
+        now = time.monotonic() if now is None else now
+        if now < self.next_beat:
+            return
+        self.next_beat = now + self.interval
+        self._beat(now)
+
+    def final(self) -> None:
+        """Closing beat: unconditional when any channel is configured."""
+        if self.interval is not None:
+            self._beat(time.monotonic())
+
+    def _beat(self, now: float) -> None:
+        r = self.result
+        done = len(r.cells)
+        failed = len(r.failed_cells)
+        remaining = max(0, self.total - done - failed)
+        elapsed = now - self.t0
+        rate_done = done - self.start_done
+        eta = (
+            remaining * elapsed / rate_done if rate_done > 0 and remaining else 0.0
+        )
+        hits = r.cache_hits
+        looked_up = hits + r.cache_misses
+        hit_ratio = hits / looked_up if looked_up else 0.0
+        if self.obs_on:
+            obs.emit(
+                "sweep.progress",
+                done=done,
+                total=self.total,
+                eta_s=round(eta, 3),
+                cache_hits=hits,
+                cache_misses=r.cache_misses,
+                hit_ratio=round(hit_ratio, 4),
+                retries=r.retries,
+                pool_restarts=r.pool_restarts,
+            )
+        if self.print_line:
+            pct = 100.0 * done / self.total if self.total else 100.0
+            print(
+                f"[sweep] {done}/{self.total} cells ({pct:.0f}%) "
+                f"elapsed {elapsed:.1f}s eta {eta:.1f}s "
+                f"hits {hits} retries {r.retries} "
+                f"restarts {r.pool_restarts} failed {failed}",
+                file=sys.stderr,
+                flush=True,
+            )
+
+
 #: per-process memo: canonical topology spec -> (topology, routing tables)
 _TOPO_MEMO: dict = {}
 
@@ -228,6 +333,7 @@ def simulate_point(
     seed=0,
     engine: "str | None" = None,
     faults=None,
+    link_telemetry: bool = False,
 ) -> SimResult:
     """Run one simulation cell on already-built objects.
 
@@ -239,7 +345,10 @@ def simulate_point(
     ``faults`` timeline the returned result carries the run's
     :class:`~repro.faults.FaultResult` as ``.fault`` (size the config
     via :func:`~repro.faults.prepare_fault_policy` first, or pass
-    ``config=None`` after preparing the policy).
+    ``config=None`` after preparing the policy).  ``link_telemetry=True``
+    attaches the flat engine's per-link flit counters (measure window
+    only) and hangs the nonzero ``{(u, v): flits}`` map on the result as
+    ``.link_flits`` — counters never perturb simulation results.
     """
     if config is None:
         config = auto_sim_config(policy)
@@ -247,9 +356,14 @@ def simulate_point(
         topo, policy, traffic, float(load), config=config, seed=seed,
         engine=engine, faults=faults,
     )
+    want_links = link_telemetry and hasattr(sim, "attach_link_telemetry")
+    if want_links:
+        sim.attach_link_telemetry()
     res = sim.run(warmup=warmup, measure=measure, drain=drain)
     if sim.fault_result is not None:
         res.fault = sim.fault_result
+    if want_links:
+        res.link_flits = sim.link_flit_counts()
     return res
 
 
@@ -329,6 +443,9 @@ def run_cell(cell: dict) -> dict:
         plan = active_plan()
         if plan is not None:
             plan.before_cell(cell)
+    # Observability is gated the same way: with $REPRO_OBS unset this is
+    # one env lookup and nothing else on the hot path.
+    obs_on = bool(os.environ.get(obs.OBS_ENV)) and obs.enabled()
     topo, policy, traffic = _build_cell_objects(cell)
     faults = None
     if cell.get("faults"):
@@ -349,15 +466,18 @@ def run_cell(cell: dict) -> dict:
     )
     if cell.get("workload"):
         workload = WORKLOADS.create(cell["workload"], topo)
-        res = simulate_workload(
-            topo,
-            policy,
-            workload,
-            config=config,
-            max_cycles=cell["max_cycles"],
-            seed=cell["seed"],
-            faults=faults,
-        )
+        with obs.span(
+            "sweep.cell", sampled=True, key=cell["key"][:12], load=cell["load"]
+        ):
+            res = simulate_workload(
+                topo,
+                policy,
+                workload,
+                config=config,
+                max_cycles=cell["max_cycles"],
+                seed=cell["seed"],
+                faults=faults,
+            )
         stats = {
             "offered_load": cell["load"],
             "accepted_load": res.achieved_throughput,
@@ -375,18 +495,34 @@ def run_cell(cell: dict) -> dict:
         if faults is not None:
             stats.update(res.fault.summary())
         return stats
-    res = simulate_point(
-        topo,
-        policy,
-        traffic,
-        cell["load"],
-        config=config,
-        warmup=cell["warmup"],
-        measure=cell["measure"],
-        drain=cell["drain"],
-        seed=cell["seed"],
-        faults=faults,
-    )
+    with obs.span(
+        "sweep.cell", sampled=True, key=cell["key"][:12], load=cell["load"]
+    ):
+        res = simulate_point(
+            topo,
+            policy,
+            traffic,
+            cell["load"],
+            config=config,
+            warmup=cell["warmup"],
+            measure=cell["measure"],
+            drain=cell["drain"],
+            seed=cell["seed"],
+            faults=faults,
+            link_telemetry=obs_on,
+        )
+    link_flits = getattr(res, "link_flits", None)
+    if obs_on and link_flits:
+        ranked = sorted(link_flits.items(), key=lambda kv: (-kv[1], kv[0]))
+        obs.emit(
+            "cell.telemetry",
+            sampled=True,
+            key=cell["key"][:12],
+            cycles=int(res.cycles),
+            top_links=[
+                [int(u), int(v), int(c)] for (u, v), c in ranked[:8]
+            ],
+        )
     stats = {
         "offered_load": res.offered_load,
         "accepted_load": res.accepted_load,
@@ -477,6 +613,8 @@ class _WorkItem:
     attempts: int = 0
     #: earliest monotonic time this item may be (re-)dispatched
     not_before: float = 0.0
+    #: monotonic submit time of the current attempt (chunk span timing)
+    t0: float = 0.0
     #: True once the item was in flight during a pool death — suspects
     #: run solo so the next death is attributable to exactly one chunk
     suspect: bool = False
@@ -552,13 +690,24 @@ class SweepRunner:
     :attr:`ExperimentResult.failed_cells` and the surviving cells'
     curves assemble normally.
 
+    Observability
+    -------------
+    With ``$REPRO_OBS=dir=...`` set (see :mod:`repro.obs`) the runner
+    emits structured lifecycle events — ``sweep.start/progress/end``,
+    ``chunk.dispatch/retry/timeout/bisect``, per-chunk ``span`` records,
+    ``pool.restart``, ``cell.retry``/``cell.quarantine`` — and workers
+    add sampled per-cell spans plus ``cell.telemetry`` hottest-link
+    records.  Independently, ``$REPRO_SWEEP_PROGRESS=SECONDS`` prints a
+    one-line progress heartbeat to stderr at that interval (plus a final
+    summary line), with or without ``$REPRO_OBS``.
+
     Notes
     -----
     Because the pool persists, workers snapshot the environment when
     first spawned: flipping env knobs (``$REPRO_SIM_ENGINE``,
-    ``$REPRO_PATH_CACHE``, ``$REPRO_SWEEP_TIMEOUT``, ``$REPRO_CHAOS``)
-    between :meth:`run` calls requires :meth:`close` first so the next
-    pool re-reads them.  On platforms whose default start method is
+    ``$REPRO_PATH_CACHE``, ``$REPRO_SWEEP_TIMEOUT``, ``$REPRO_CHAOS``,
+    ``$REPRO_OBS``) between :meth:`run` calls requires :meth:`close`
+    first so the next pool re-reads them.  On platforms whose default start method is
     *spawn* (macOS, Windows), scripts using a multi-worker runner need
     the standard ``if __name__ == "__main__":`` guard; set
     ``REPRO_SWEEP_WORKERS=1`` to force inline execution instead.
@@ -641,6 +790,8 @@ class SweepRunner:
             pool.shutdown(wait=False, cancel_futures=True)
         if result is not None:
             result.pool_restarts += 1
+            obs.counter("sweep.pool_restarts").inc()
+            obs.emit("pool.restart", restarts=result.pool_restarts)
 
     def _chunks(self, missing: list) -> list:
         """Topology-affine, cost-ordered chunks of ``missing``.
@@ -699,12 +850,31 @@ class SweepRunner:
             else:
                 missing.append(cell)
 
+        hb = _Heartbeat(result, total=len(cells))
+        obs.emit(
+            "sweep.start",
+            cells=len(cells),
+            cached=result.cache_hits,
+            missing=len(missing),
+            workers=self.max_workers,
+        )
         if missing:
             result.cache_misses = len(missing)
-            if self.max_workers > 1 and len(missing) > 1:
-                self._run_parallel(missing, result)
-            else:
-                self._run_serial(missing, result)
+            with obs.span("sweep.run", cells=len(missing)):
+                if self.max_workers > 1 and len(missing) > 1:
+                    self._run_parallel(missing, result, hb)
+                else:
+                    self._run_serial(missing, result, hb)
+        hb.final()
+        obs.emit(
+            "sweep.end",
+            done=len(result.cells),
+            total=len(cells),
+            retries=result.retries,
+            pool_restarts=result.pool_restarts,
+            failed=len(result.failed_cells),
+        )
+        obs.emit_counters()
 
         if result.failed_cells and strict:
             keys = sorted(result.failed_cells)
@@ -735,6 +905,7 @@ class SweepRunner:
     def _commit(self, result: ExperimentResult, cell: dict, stats: dict) -> None:
         """Checkpoint one finished cell: result map + immediate cache put."""
         result.cells[cell["key"]] = stats
+        obs.counter("sweep.cells_done").inc()
         if self.cache is not None:
             self.cache.put(cell["key"], {"cell": cell, "result": stats})
 
@@ -750,10 +921,17 @@ class SweepRunner:
             attempts=attempts,
         )
         result.failed_cells[cell["key"]] = err
+        obs.counter("sweep.quarantined").inc()
+        obs.emit("cell.quarantine", key=cell["key"][:12], error=err.error)
         if self.cache is not None:
             self.cache.put_failure(cell["key"], err.to_doc())
 
-    def _run_serial(self, missing: list, result: ExperimentResult) -> None:
+    def _run_serial(
+        self,
+        missing: list,
+        result: ExperimentResult,
+        hb: "_Heartbeat | None" = None,
+    ) -> None:
         """Inline execution with the same retry/quarantine semantics.
 
         Each cell commits to the cache the moment it finishes, so an
@@ -769,6 +947,13 @@ class SweepRunner:
                 except Exception as exc:
                     last = exc
                     result.retries += 1
+                    obs.counter("sweep.retries").inc()
+                    obs.emit(
+                        "cell.retry",
+                        key=cell["key"][:12],
+                        attempt=attempt,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                     if attempt < MAX_ATTEMPTS:
                         time.sleep(_backoff(attempt))
                     continue
@@ -776,6 +961,8 @@ class SweepRunner:
                 break
             else:
                 self._quarantine_cell(result, cell, last, MAX_ATTEMPTS)
+            if hb is not None:
+                hb.maybe_beat()
 
     def _dispatch(
         self, item: _WorkItem, inflight: dict, result: ExperimentResult
@@ -788,7 +975,14 @@ class SweepRunner:
             except BrokenExecutor:
                 self._restart_pool(result)
                 continue
-            inflight[fut] = (item, time.monotonic() + _chunk_deadline(item.cells))
+            item.t0 = time.monotonic()
+            inflight[fut] = (item, item.t0 + _chunk_deadline(item.cells))
+            obs.emit(
+                "chunk.dispatch",
+                chunk=_chunk_label(item.cells),
+                cells=len(item.cells),
+                attempt=item.attempts + 1,
+            )
             return
         raise RuntimeError("worker pool could not be respawned")
 
@@ -810,6 +1004,21 @@ class SweepRunner:
         :data:`MAX_ATTEMPTS`.
         """
         result.retries += 1
+        obs.counter("sweep.retries").inc()
+        if isinstance(exc, SweepTimeoutError):
+            obs.emit(
+                "chunk.timeout",
+                chunk=_chunk_label(item.cells),
+                cells=len(item.cells),
+                deadline_s=round(_chunk_deadline(item.cells), 3),
+            )
+        obs.emit(
+            "chunk.retry",
+            chunk=_chunk_label(item.cells),
+            cells=len(item.cells),
+            attempt=item.attempts + (1 if penalize else 0),
+            error=f"{type(exc).__name__}: {exc}",
+        )
         item.suspect = item.suspect or suspect
         if penalize:
             item.attempts += 1
@@ -825,6 +1034,11 @@ class SweepRunner:
             # suspect status (solo execution keeps attribution exact
             # for worker-killing cells) but start with fresh attempts.
             mid = len(item.cells) // 2
+            obs.emit(
+                "chunk.bisect",
+                chunk=_chunk_label(item.cells),
+                cells=len(item.cells),
+            )
             for half in (item.cells[:mid], item.cells[mid:]):
                 queue.append(
                     _WorkItem(
@@ -883,12 +1097,19 @@ class SweepRunner:
         del queue[i]
         return item
 
-    def _run_parallel(self, missing: list, result: ExperimentResult) -> None:
+    def _run_parallel(
+        self,
+        missing: list,
+        result: ExperimentResult,
+        hb: "_Heartbeat | None" = None,
+    ) -> None:
         """The as-completed scheduler: dispatch, harvest, heal, repeat."""
         queue = [_WorkItem(list(chunk)) for chunk in self._chunks(missing)]
         inflight: dict = {}  # future -> (_WorkItem, deadline)
         while queue or inflight:
             now = time.monotonic()
+            if hb is not None:
+                hb.maybe_beat(now)
             self._fill(queue, inflight, result, now)
             if not inflight:
                 # Everything dispatchable is backing off; sleep to the
@@ -908,6 +1129,14 @@ class SweepRunner:
                 if exc is None:
                     for cell, stats in zip(item.cells, fut.result()):
                         self._commit(result, cell, stats)
+                    obs.emit(
+                        "span",
+                        name="sweep.chunk",
+                        secs=time.monotonic() - item.t0,
+                        ok=True,
+                        chunk=_chunk_label(item.cells),
+                        cells=len(item.cells),
+                    )
                 elif isinstance(exc, BrokenExecutor):
                     # A worker died.  With exactly one chunk in flight
                     # the guilt is certain; otherwise every in-flight

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.faults.timeline import ROUTER_KINDS, FaultTimeline
+from repro.obs import counter as _obs_counter
 from repro.routing.degraded import fault_epoch_tables
 
 __all__ = ["FaultDelta", "FaultState", "prepare_fault_policy"]
@@ -249,10 +250,14 @@ class FaultState:
         self.marks.append((int(now), int(sample_index)))
 
     # ------------------------------------------------------------------
-    # Drop accounting (both engines call in identical order)
+    # Drop accounting (both engines call in identical order).  The obs
+    # counters shadow the per-run fields into the process-global metric
+    # registry — pure bookkeeping, never consulted by either engine, so
+    # the bit-identity contract is untouched.
     # ------------------------------------------------------------------
     def note_flit_drops(self, count: int) -> None:
         self.dropped_flits += int(count)
+        _obs_counter("faults.flit_drops").inc(int(count))
 
     def note_tail_drop(self, mid: int) -> None:
         """A packet's tail flit was lost: the packet is gone.
@@ -262,6 +267,7 @@ class FaultState:
         both engines produce identically.
         """
         self.dropped_packets += 1
+        _obs_counter("faults.tail_drops").inc()
         if mid >= 0 and self.retransmit_enabled:
             self._rt_queue.append(int(mid))
 
@@ -273,6 +279,7 @@ class FaultState:
     def note_blackholed(self, packets: int) -> None:
         """Packets that could never inject (dead source or destination)."""
         self.blackholed_packets += int(packets)
+        _obs_counter("faults.blackholed_packets").inc(int(packets))
 
     def note_damaged_deliveries(self, packets: int) -> None:
         """Packets whose tail ejected after losing body flits.

@@ -86,6 +86,11 @@ typedef struct {
     int8_t *pkt_damaged;
     int64_t *drop_tail_pids;
     int64_t *fcnt;
+    /* Per-link flit counters (n * Dp, indexed r * Dp + out): NULL
+     * unless link telemetry is attached AND the measure window is open
+     * — the host rebinds it every cycle, so the disabled path costs one
+     * predictable branch per forwarded flit. */
+    int64_t *link_flits;
 } SimState;
 """
 
@@ -320,6 +325,10 @@ int64_t kroute(SimState *st, int64_t now, int64_t *n_ejected)
             int64_t nxt = st->nbr[r * Dp + out];
             int64_t in2 = st->rev[r * Dp + out];
             int64_t out2;
+            /* Telemetry counts at grant time, before the fault doom
+             * check below — the reference hook's accounting point. */
+            if (st->link_flits)
+                st->link_flits[r * Dp + out] += 1;
             if (nxt == st->pkt_dst[pid])
                 out2 = OE;
             else

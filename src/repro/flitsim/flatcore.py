@@ -273,6 +273,13 @@ class FlatSimulator(SimulatorCore):
         self._measuring = False
         self._stat = SimResult(load, 0, fab.E)
 
+        # Optional per-link flit counters (:meth:`attach_link_telemetry`).
+        # None by default: the numpy route phase pays one identity check
+        # per cycle and the C kernel a NULL pointer it never follows.
+        self._ltel: "np.ndarray | None" = None
+        self._ltel_dp = max(fab.D, 1)
+        self._ltel_buf = None
+
         # Fault-mode state: per-(router, output-column) death mask and
         # outstanding-flit counts per packet slot (drops can retire a
         # packet out of tail order, so slot recycling counts flits).
@@ -338,6 +345,46 @@ class FlatSimulator(SimulatorCore):
     def live_flits(self) -> int:
         """Flits currently anywhere in the system (FIFOs + VOQs)."""
         return self.pool_cap - self.free_top
+
+    # ------------------------------------------------------------------
+    # Per-link telemetry (observability; never perturbs results)
+    # ------------------------------------------------------------------
+    def attach_link_telemetry(self) -> "np.ndarray":
+        """Allocate (idempotently) per-link flit counters; the array.
+
+        Flat ``int64`` counters of shape ``n * max(D, 1)``, indexed
+        ``router * Dp + out_port`` (the kernel credits layout).  A link
+        grant is counted during the measure window only, *before* any
+        fault doom filtering — the same accounting point as the
+        reference engine's ``run_with_telemetry`` forward hook, so the
+        two agree bit-exactly.  Works in both the numpy and C-kernel
+        route phases; attaching never changes simulation results.
+        """
+        if self._ltel is None:
+            self._ltel = np.zeros(
+                self.fab.n * self._ltel_dp, dtype=np.int64
+            )
+            if self._kernel is not None:
+                self._ltel_buf = self._kernel.ffi.from_buffer(
+                    "int64_t[]", self._ltel
+                )
+        return self._ltel
+
+    def link_flit_counts(self) -> dict:
+        """Nonzero per-directed-link counts as ``{(u, v): flits}``.
+
+        The dict form of the attached counter array, keyed like the
+        reference telemetry's ``link_flits`` (source router, neighbor).
+        Empty when telemetry was never attached.
+        """
+        if self._ltel is None:
+            return {}
+        fab = self.fab
+        counts = {}
+        for i in np.flatnonzero(self._ltel).tolist():
+            r, out = divmod(i, self._ltel_dp)
+            counts[(r, int(fab.nbr_mat[r, out]))] = int(self._ltel[i])
+        return counts
 
     # ------------------------------------------------------------------
     # C kernel plumbing
@@ -417,6 +464,9 @@ class FlatSimulator(SimulatorCore):
             st.pkt_damaged = ffi.NULL
             st.drop_tail_pids = ffi.NULL
             st.fcnt = ffi.NULL
+        # Link telemetry binds per cycle (measure window only); outside
+        # it the kernel sees NULL and skips counting entirely.
+        st.link_flits = ffi.NULL
         self._st_refs = refs
 
     # ------------------------------------------------------------------
@@ -859,6 +909,10 @@ class FlatSimulator(SimulatorCore):
         if fwd.size:
             fl = flit[fwd]
             r_f, out_f = r_w[fwd], out_w[fwd]
+            if self._ltel is not None and self._measuring:
+                # Count at grant time, before fault doom filtering — the
+                # reference telemetry hook's accounting point.
+                np.add.at(self._ltel, r_f * self._ltel_dp + out_f, 1)
             hop_f = hop_w[fwd]
             nxt_r = fab.nbr_mat[r_f, out_f]
             in_next = fab.rev_mat[r_f, out_f]
@@ -1054,6 +1108,12 @@ class FlatSimulator(SimulatorCore):
         ft = self._fault
         if ft is not None:
             self._fcnt[:] = 0
+        if self._ltel_buf is not None:
+            # Counters are live only inside the measure window; outside
+            # it the kernel sees NULL and skips the increment branch.
+            self._st.link_flits = (
+                self._ltel_buf if self._measuring else self._kernel.ffi.NULL
+            )
         lib.kfeed(self._st, self.now)
         n_tail = lib.kroute(self._st, self.now, self._n_ej)
         n_ej = self._n_ej[0]

@@ -6,9 +6,15 @@ link, buffer occupancy samples, and derived hot-spot reports.  Used by
 the adversarial-traffic analyses to show *where* min-path routing
 concentrates load (the mechanistic story behind Figure 9).
 
-Telemetry instruments the *reference* engine (it hooks the per-flit
-forward step, which the flat engine deliberately doesn't have); the two
-engines are result-equivalent, so what it observes holds for both.
+Telemetry instruments *both* engines: the reference engine by hooking
+its per-flit forward step, and the flat engine via vectorized counter
+arrays (:meth:`~repro.flitsim.flatcore.FlatSimulator.attach_link_telemetry`,
+with a counter-array hook inside the C kernel so kernel mode stays
+instrumented).  Both count a link grant at the same accounting point —
+before any fault doom filtering, during the measure window only — so
+per-link flit counts agree bit-exactly across engines (pinned by
+``tests/test_telemetry_flat.py``), which makes telemetry usable at
+scales where the reference engine is too slow.
 """
 
 from __future__ import annotations
@@ -46,9 +52,18 @@ class LinkTelemetry:
         return link, self.utilization(*link)
 
     def utilization_histogram(self, bins=10) -> tuple[np.ndarray, np.ndarray]:
-        """Histogram over all directed links' utilizations."""
-        utils = [self.utilization(u, v) for (u, v) in self.link_flits]
-        return np.histogram(np.asarray(utils or [0.0]), bins=bins, range=(0, 1))
+        """Histogram over all directed links' utilizations.
+
+        Covers *every* directed link of the topology — idle links land
+        in the zero bin — so the counts sum to ``num_directed_links``
+        (or to the number of observed links if that field was left 0).
+        """
+        n = max(self.num_directed_links, len(self.link_flits), 1)
+        utils = np.zeros(n, dtype=float)
+        vals = np.fromiter(self.link_flits.values(), dtype=float,
+                           count=len(self.link_flits))
+        utils[: vals.size] = vals / max(self.cycles, 1)
+        return np.histogram(utils, bins=bins, range=(0, 1))
 
     def gini(self) -> float:
         """Gini coefficient of link load — 0 is perfectly balanced.
@@ -71,19 +86,33 @@ class LinkTelemetry:
 
 
 def run_with_telemetry(
-    sim: NetworkSimulator, warmup: int = 300, measure: int = 600, sample_every: int = 8
+    sim, warmup: int = 300, measure: int = 600, sample_every: int = 8
 ):
     """Run ``sim`` collecting link telemetry during the measurement window.
 
-    Returns ``(SimResult, LinkTelemetry)``.  Link counts are derived by
-    intercepting the simulator's forward step; occupancy is sampled every
-    ``sample_every`` cycles from credit state.
+    Returns ``(SimResult, LinkTelemetry)``.  Accepts either engine: the
+    reference engine derives link counts by intercepting its per-flit
+    forward step, the flat engine by attaching its vectorized counter
+    arrays (numpy or C-kernel route phase alike).  Occupancy is sampled
+    every ``sample_every`` cycles from credit state in both.  The two
+    engines' per-link flit counts are bit-identical for the same seed.
     """
-    if not isinstance(sim, NetworkSimulator):
-        raise TypeError(
-            "run_with_telemetry instruments the reference engine; construct "
-            "a repro.flitsim.reference.NetworkSimulator for telemetry runs"
-        )
+    if isinstance(sim, NetworkSimulator):
+        return _run_reference_telemetry(sim, warmup, measure, sample_every)
+    from repro.flitsim.flatcore import FlatSimulator
+
+    if isinstance(sim, FlatSimulator):
+        return _run_flat_telemetry(sim, warmup, measure, sample_every)
+    raise TypeError(
+        "run_with_telemetry instruments the reference or flat engine; got "
+        f"{type(sim).__name__}"
+    )
+
+
+def _run_reference_telemetry(
+    sim: NetworkSimulator, warmup: int, measure: int, sample_every: int
+):
+    """The forward-hook path for the dict-of-deques reference engine."""
     telemetry = LinkTelemetry(
         cycles=measure, num_directed_links=2 * sim.topo.num_links
     )
@@ -122,6 +151,53 @@ def run_with_telemetry(
         sim._forward = original_forward
     telemetry.mean_occupancy = {
         k: s / max(samples, 1) for k, s in occupancy_sum.items()
+    }
+    sim.result = sim._stat.finalize()
+    return sim._stat, telemetry
+
+
+def _run_flat_telemetry(sim, warmup: int, measure: int, sample_every: int):
+    """The counter-array path for the struct-of-arrays flat engine.
+
+    Mirrors the reference loop exactly (same warmup/measure windows,
+    same post-step sampling cycles, no drain) so the collected counts
+    are bit-comparable.  Works with both the numpy route phase and the
+    C kernel — :meth:`attach_link_telemetry` instruments either.
+    """
+    fab = sim.fab
+    telemetry = LinkTelemetry(
+        cycles=measure, num_directed_links=2 * sim.topo.num_links
+    )
+    ltel = sim.attach_link_telemetry()
+    base = ltel.copy()
+    Dp = sim._ltel_dp
+    cap = sim.config.port_capacity
+    # Padding credit columns (port >= deg) hold 0 credits, which would
+    # read as a full buffer; mask to real link ports, like the reference
+    # loop's iteration over nbrs[r].
+    port_mask = np.arange(Dp)[None, :] < fab.deg[:, None]
+    occupancy_sum = np.zeros((fab.n, Dp), dtype=np.int64)
+    samples = 0
+    for _ in range(warmup):
+        sim.step()
+    sim._measuring = True
+    start = sim.now
+    for i in range(measure):
+        sim.step()
+        if i % sample_every == 0:
+            samples += 1
+            occupancy_sum += cap - sim.credits.sum(axis=2)
+    sim._stat.cycles = sim.now - start
+    sim._measuring = False
+    delta = ltel - base
+    for idx in np.flatnonzero(delta).tolist():
+        r, out = divmod(idx, Dp)
+        telemetry.link_flits[(r, int(fab.nbr_mat[r, out]))] = int(delta[idx])
+    occupancy_sum[~port_mask] = 0
+    rr, oo = np.nonzero(occupancy_sum)
+    telemetry.mean_occupancy = {
+        (int(r), int(fab.nbr_mat[r, o])): occupancy_sum[r, o] / max(samples, 1)
+        for r, o in zip(rr.tolist(), oo.tolist())
     }
     sim.result = sim._stat.finalize()
     return sim._stat, telemetry

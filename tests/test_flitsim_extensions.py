@@ -129,7 +129,9 @@ class TestTelemetry:
         )
         _, tel = run_with_telemetry(sim, warmup=100, measure=200)
         counts, edges = tel.utilization_histogram(bins=5)
-        assert counts.sum() == len(tel.link_flits)
+        # Every directed link is histogrammed — idle ones in the 0 bin.
+        assert counts.sum() == tel.num_directed_links
+        assert counts.sum() >= len(tel.link_flits)
 
 
 class TestLatencyModel:

@@ -4,7 +4,7 @@
     PYTHONPATH=src python tools/bench.py [--out PATH] [--measure N]
         [--warmup N] [--cells name,name] [--check RATIO]
         [--no-construction] [--check-construction SLACK]
-        [--no-sweep-resilience]
+        [--no-sweep-resilience] [--no-obs-overhead]
 
 ``--check RATIO`` exits nonzero when any benchmarked cell's
 flat-over-reference speedup falls below RATIO — the CI perf job runs
@@ -17,7 +17,11 @@ compiler is present the kernel cells are skipped with a visible notice
 instead of gating a meaningless 1x ratio.  The ``sweep_resilience``
 section times the crash-resilient sweep scheduler against a bare
 ``pool.map`` of the same grid; ``--check`` fails the run when the
-scheduler's clean-path overhead exceeds its committed gate.
+scheduler's clean-path overhead exceeds its committed gate.  The
+``obs_overhead`` section likewise times the fully instrumented serial
+sweep path with ``$REPRO_OBS`` unset against a bare ``run_cell`` loop;
+``--check`` fails the run when disabled observability costs more than
+its committed gate (1.03x).
 
 ``--check-construction SLACK`` guards the construction trajectory: the
 previously committed ``--out`` file is read *before* it is overwritten,
@@ -98,6 +102,11 @@ def main(argv=None) -> int:
         help="skip the sweep-scheduler overhead cell",
     )
     parser.add_argument(
+        "--no-obs-overhead",
+        action="store_true",
+        help="skip the observability-overhead cell",
+    )
+    parser.add_argument(
         "--check-construction",
         type=float,
         default=None,
@@ -136,6 +145,7 @@ def main(argv=None) -> int:
         faults=not args.no_faults,
         scale=not args.no_scale,
         sweep_resilience=not args.no_sweep_resilience,
+        obs_overhead=not args.no_obs_overhead,
     )
     path = write_bench_json(doc, args.out)
 
@@ -248,6 +258,21 @@ def main(argv=None) -> int:
             failed.append(
                 f"sweep_resilience: scheduler overhead {overhead:.2f}x > "
                 f"allowed {sr['max_overhead']:.2f}x over pool.map"
+            )
+
+    ob = doc.get("obs_overhead")
+    if ob:
+        overhead = ob["overhead_disabled_vs_seed"]
+        print(
+            f"{'obs_overhead':28s} disabled {ob['disabled_s']:.2f} s   "
+            f"seed {ob['bare_s']:.2f} s   overhead {overhead:.2f}x "
+            f"(gate {ob['max_overhead']:.2f}x)   enabled "
+            f"{ob['overhead_enabled_vs_disabled']:.2f}x (informational)"
+        )
+        if args.check is not None and overhead > ob["max_overhead"]:
+            failed.append(
+                f"obs_overhead: disabled-path observability overhead "
+                f"{overhead:.2f}x > allowed {ob['max_overhead']:.2f}x"
             )
 
     if args.check_construction is not None and not args.no_construction:
