@@ -43,8 +43,10 @@ __all__ = [
     "CLOSED_LOOP_ENGINES",
     "SWEEP_RESILIENCE_MAX_OVERHEAD",
     "OBS_OVERHEAD_MAX",
+    "TS_OVERHEAD_MAX",
     "bench_cell",
     "bench_obs_overhead",
+    "bench_ts_overhead",
     "bench_sweep_resilience",
     "bench_workload_cell",
     "bench_fault_cell",
@@ -56,6 +58,7 @@ __all__ = [
     "run_fault_benchmarks",
     "run_sweep_resilience_benchmark",
     "run_obs_overhead_benchmark",
+    "run_ts_overhead_benchmark",
     "run_benchmarks",
     "machine_info",
     "write_bench_json",
@@ -179,6 +182,12 @@ SWEEP_RESILIENCE_MAX_OVERHEAD = 1.05
 #: instrumented serial execution path may cost at most this factor over
 #: the seed execution spine (a bare ``run_cell`` loop on the same cells).
 OBS_OVERHEAD_MAX = 1.03
+
+#: CI gate for time-series collection: with windows *off* (the default
+#: ``window=0``), the merged feature may cost at most this factor over
+#: the seed execution spine (a direct simulator ``run()`` loop on the
+#: same points) — the dormant collector must stay dormant.
+TS_OVERHEAD_MAX = 1.05
 
 
 def _engine_ctx(engine: str):
@@ -561,6 +570,88 @@ def run_obs_overhead_benchmark(seed: int = 1) -> dict:
     return bench_obs_overhead(seed=seed)
 
 
+def bench_ts_overhead(repeats: int = 3, seed: int = 1) -> dict:
+    """Time-series tax with windows *off*: merged feature vs seed spine.
+
+    Windowed collection is opt-in (``ExperimentSpec.window=0`` by
+    default), so the merged code may not slow down the fleet that never
+    asked for it.  Per round this times a ``run_cell`` loop over
+    non-windowed cells — the execution path every existing sweep takes
+    after the merge, window checks and all — against the seed execution
+    spine: a direct ``make_simulator(...).run(...)`` loop on the same
+    points with none of the cell plumbing.  Rounds interleave the two
+    sides (the :func:`bench_obs_overhead` methodology) and the gated
+    number is the best-of-rounds ratio, checked at
+    :data:`TS_OVERHEAD_MAX` by ``tools/bench.py --check``.  A
+    windowed-*on* ratio (``window=64`` on the same grid) is recorded for
+    information but never gated — collecting windows costs what it
+    costs.
+    """
+    from repro.experiments.runner import (
+        _build_cell_objects,
+        auto_sim_config,
+        run_cell,
+    )
+    from repro.experiments.spec import ExperimentSpec
+
+    spec = ExperimentSpec.grid(
+        ["polarfly:conc=2,q=7"], ["ugal-pf"], ["uniform"],
+        loads=(0.2, 0.4, 0.6, 0.8),
+        warmup=150, measure=400, drain=100, root_seed=seed,
+    )
+    cells = spec.cells()
+    win_cells = spec.with_(window=64).cells()
+
+    def seed_spine():
+        for cell in cells:
+            topo, policy, traffic = _build_cell_objects(cell)
+            config = auto_sim_config(
+                policy,
+                port_budget=cell["port_budget"],
+                num_vcs=cell["num_vcs"],
+                vc_depth=cell["vc_depth"],
+                packet_size=cell["packet_size"],
+            )
+            sim = make_simulator(
+                topo, policy, traffic, cell["load"], config=config,
+                seed=cell["seed"],
+            )
+            sim.run(
+                warmup=cell["warmup"], measure=cell["measure"],
+                drain=cell["drain"],
+            )
+
+    # Warm the construction memo so neither side pays first-build cost.
+    run_cell(cells[0])
+    seed_spine()
+    off_s = bare_s = float("inf")
+    ratios = []
+    for _ in range(repeats):
+        _, s = _timed(lambda: [run_cell(cell) for cell in cells])
+        _, b = _timed(seed_spine)
+        off_s = min(off_s, s)
+        bare_s = min(bare_s, b)
+        ratios.append(s / b)
+    _, on_s = _timed(
+        lambda: [run_cell(cell) for cell in win_cells], repeats=2
+    )
+    return {
+        "grid": {"cells": len(cells), "repeats": repeats},
+        "windows_off_s": off_s,
+        "bare_s": bare_s,
+        "windows_on_s": on_s,
+        "round_ratios": ratios,
+        "overhead_off_vs_seed": off_s / bare_s,
+        "overhead_on_vs_off": on_s / off_s,
+        "max_overhead": TS_OVERHEAD_MAX,
+    }
+
+
+def run_ts_overhead_benchmark(seed: int = 1) -> dict:
+    """The ``ts_overhead`` section of ``BENCH_flitsim.json``."""
+    return bench_ts_overhead(seed=seed)
+
+
 def run_workload_benchmarks(
     cells: "dict | None" = None,
     max_cycles: int = 100_000,
@@ -796,6 +887,7 @@ def run_benchmarks(
     scale: bool = True,
     sweep_resilience: bool = True,
     obs_overhead: bool = True,
+    ts_overhead: bool = True,
 ) -> dict:
     """Run every cell and assemble the ``BENCH_flitsim.json`` document."""
     cells = CANONICAL_CELLS if cells is None else cells
@@ -827,6 +919,8 @@ def run_benchmarks(
         doc["sweep_resilience"] = run_sweep_resilience_benchmark(seed=seed)
     if obs_overhead:
         doc["obs_overhead"] = run_obs_overhead_benchmark(seed=seed)
+    if ts_overhead:
+        doc["ts_overhead"] = run_ts_overhead_benchmark(seed=seed)
     return doc
 
 

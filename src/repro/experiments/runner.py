@@ -37,6 +37,7 @@ import sys
 import time
 import traceback as _traceback
 import weakref
+from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -216,8 +217,12 @@ class _Heartbeat:
 
     __slots__ = (
         "result", "total", "interval", "print_line", "obs_on",
-        "t0", "start_done", "next_beat",
+        "t0", "start_done", "next_beat", "samples",
     )
+
+    #: completion samples kept for the sliding-window rate (one per
+    #: beat, so the window spans roughly the last 5 intervals)
+    _RATE_WINDOW = 6
 
     def __init__(self, result: "ExperimentResult", total: int):
         self.result = result
@@ -237,6 +242,8 @@ class _Heartbeat:
         self.interval = interval
         self.t0 = time.monotonic()
         self.start_done = len(result.cells)
+        self.samples = deque(maxlen=self._RATE_WINDOW)
+        self.samples.append((self.t0, self.start_done))
         self.next_beat = (
             self.t0 + interval if interval is not None else float("inf")
         )
@@ -261,10 +268,18 @@ class _Heartbeat:
         failed = len(r.failed_cells)
         remaining = max(0, self.total - done - failed)
         elapsed = now - self.t0
-        rate_done = done - self.start_done
-        eta = (
-            remaining * elapsed / rate_done if rate_done > 0 and remaining else 0.0
-        )
+        # ETA from the recent-completion window, not the whole-run mean:
+        # early cache-hit bursts or a slow cold start would otherwise
+        # skew the estimate for the entire sweep.  Falls back to the
+        # whole-run mean until the window has seen any completions.
+        w_t, w_done = self.samples[0]
+        self.samples.append((now, done))
+        span = now - w_t
+        rate = (done - w_done) / span if span > 0 else 0.0
+        if rate <= 0:
+            rate_done = done - self.start_done
+            rate = rate_done / elapsed if elapsed > 0 else 0.0
+        eta = remaining / rate if rate > 0 and remaining else 0.0
         hits = r.cache_hits
         looked_up = hits + r.cache_misses
         hit_ratio = hits / looked_up if looked_up else 0.0
@@ -274,6 +289,7 @@ class _Heartbeat:
                 done=done,
                 total=self.total,
                 eta_s=round(eta, 3),
+                cells_per_s=round(rate, 3),
                 cache_hits=hits,
                 cache_misses=r.cache_misses,
                 hit_ratio=round(hit_ratio, 4),
@@ -285,7 +301,7 @@ class _Heartbeat:
             print(
                 f"[sweep] {done}/{self.total} cells ({pct:.0f}%) "
                 f"elapsed {elapsed:.1f}s eta {eta:.1f}s "
-                f"hits {hits} retries {r.retries} "
+                f"rate {rate:.2f}/s hits {hits} retries {r.retries} "
                 f"restarts {r.pool_restarts} failed {failed}",
                 file=sys.stderr,
                 flush=True,
@@ -334,6 +350,7 @@ def simulate_point(
     engine: "str | None" = None,
     faults=None,
     link_telemetry: bool = False,
+    window: int = 0,
 ) -> SimResult:
     """Run one simulation cell on already-built objects.
 
@@ -348,7 +365,11 @@ def simulate_point(
     ``config=None`` after preparing the policy).  ``link_telemetry=True``
     attaches the flat engine's per-link flit counters (measure window
     only) and hangs the nonzero ``{(u, v): flits}`` map on the result as
-    ``.link_flits`` — counters never perturb simulation results.
+    ``.link_flits`` — counters never perturb simulation results.  A
+    nonzero ``window`` collects a per-window time series through
+    :func:`~repro.flitsim.telemetry.run_with_timeseries` (result
+    bit-identical to the uninstrumented run) and hangs the
+    :class:`~repro.obs.timeseries.WindowSeries` as ``.timeseries``.
     """
     if config is None:
         config = auto_sim_config(policy)
@@ -359,7 +380,16 @@ def simulate_point(
     want_links = link_telemetry and hasattr(sim, "attach_link_telemetry")
     if want_links:
         sim.attach_link_telemetry()
-    res = sim.run(warmup=warmup, measure=measure, drain=drain)
+    if window:
+        from repro.flitsim.telemetry import run_with_timeseries
+
+        res, series = run_with_timeseries(
+            sim, warmup=warmup, measure=measure, window=int(window),
+            drain=drain,
+        )
+        res.timeseries = series
+    else:
+        res = sim.run(warmup=warmup, measure=measure, drain=drain)
     if sim.fault_result is not None:
         res.fault = sim.fault_result
     if want_links:
@@ -376,6 +406,7 @@ def simulate_workload(
     seed=0,
     engine: "str | None" = None,
     faults=None,
+    window: int = 0,
 ):
     """Run one closed-loop workload cell on already-built objects.
 
@@ -383,7 +414,8 @@ def simulate_workload(
     closed-loop simulation in the repo — benchmarks, examples, and
     cache-missing workload sweep cells — ends here.  Returns a
     :class:`~repro.workloads.WorkloadResult` (carrying ``.fault`` when a
-    timeline was attached).
+    timeline was attached, and ``.timeseries`` when ``window`` is
+    nonzero).
     """
     if config is None:
         config = auto_sim_config(policy)
@@ -391,7 +423,15 @@ def simulate_workload(
         topo, policy, None, 0.0, config=config, seed=seed, engine=engine,
         workload=workload, faults=faults,
     )
-    res = sim.run_workload(max_cycles=max_cycles)
+    if window:
+        from repro.flitsim.telemetry import run_workload_with_timeseries
+
+        res, series = run_workload_with_timeseries(
+            sim, window=int(window), max_cycles=max_cycles
+        )
+        res.timeseries = series
+    else:
+        res = sim.run_workload(max_cycles=max_cycles)
     if sim.fault_result is not None:
         res.fault = sim.fault_result
     return res
@@ -477,6 +517,7 @@ def run_cell(cell: dict) -> dict:
                 max_cycles=cell["max_cycles"],
                 seed=cell["seed"],
                 faults=faults,
+                window=cell.get("window", 0),
             )
         stats = {
             "offered_load": cell["load"],
@@ -494,6 +535,7 @@ def run_cell(cell: dict) -> dict:
         stats.update(res.summary())
         if faults is not None:
             stats.update(res.fault.summary())
+        _timeseries_stats(res, stats, cell, obs_on)
         return stats
     with obs.span(
         "sweep.cell", sampled=True, key=cell["key"][:12], load=cell["load"]
@@ -510,6 +552,7 @@ def run_cell(cell: dict) -> dict:
             seed=cell["seed"],
             faults=faults,
             link_telemetry=obs_on,
+            window=cell.get("window", 0),
         )
     link_flits = getattr(res, "link_flits", None)
     if obs_on and link_flits:
@@ -538,7 +581,28 @@ def run_cell(cell: dict) -> dict:
     }
     if faults is not None:
         stats.update(res.fault.summary())
+    _timeseries_stats(res, stats, cell, obs_on)
     return stats
+
+
+def _timeseries_stats(res, stats: dict, cell: dict, obs_on: bool) -> None:
+    """Fold a windowed run's series into the cell's persisted stats.
+
+    The series summary rides the normal cache commit (JSON-safe lists
+    and dicts only), ``steady_state_window`` lets sweeps gate on
+    time-to-steady-state, and — when the obs sink is configured — each
+    window is also emitted as a ``ts.window`` event for live timelines.
+    No-op for non-windowed cells.
+    """
+    series = getattr(res, "timeseries", None)
+    if series is None:
+        return
+    from repro.obs.timeseries import emit_window_events, steady_state_window
+
+    stats["timeseries"] = series.summary()
+    stats["steady_state_window"] = steady_state_window(series)
+    if obs_on:
+        emit_window_events(series, key=cell["key"][:12])
 
 
 def run_chunk(cells: list) -> list:

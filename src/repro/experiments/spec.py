@@ -28,7 +28,14 @@ from repro.experiments.registry import (
 )
 from repro.utils.rng import derive_seed
 
-__all__ = ["Combo", "ExperimentSpec", "cell_hash", "cell_cost", "CELL_VERSION"]
+__all__ = [
+    "Combo",
+    "ExperimentSpec",
+    "cell_hash",
+    "cell_cost",
+    "CELL_VERSION",
+    "WINDOWED_CELL_VERSION",
+]
 
 #: bump to invalidate cached artifacts when cell semantics change
 #: (4: dynamic fault-injection cells — optional fault axis; fault-free
@@ -36,6 +43,13 @@ __all__ = ["Combo", "ExperimentSpec", "cell_hash", "cell_cost", "CELL_VERSION"]
 #: axis, run-to-completion windows — joining the v2
 #: synchronous-router-phase protocol)
 CELL_VERSION = 4
+
+#: the version stamped on cells that carry the optional ``window``
+#: field (time-series collection enabled): those cells gained a
+#: ``timeseries`` result block, so their artifacts need refreshing —
+#: while the untouched non-windowed fleet keeps validating against
+#: :data:`CELL_VERSION` (5: per-window time-series persistence)
+WINDOWED_CELL_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -102,6 +116,10 @@ class ExperimentSpec:
     #: cycle budget for closed-loop (workload) cells; open-loop cells
     #: use the warmup/measure/drain window instead
     max_cycles: int = 200_000
+    #: time-series window width in cycles; 0 (default) disables
+    #: windowed collection — cells then hash and validate exactly as
+    #: before this field existed
+    window: int = 0
 
     def __post_init__(self):
         combos = tuple(
@@ -218,6 +236,14 @@ class ExperimentSpec:
             cell["max_cycles"] = int(self.max_cycles)
             for window in ("warmup", "measure", "drain"):
                 del cell[window]
+        if self.window:
+            # Only windowed cells carry the field and the bumped
+            # version: enabling time-series collection changes the key
+            # (a windowed result is a superset) and refreshes any stale
+            # artifact under it, while the non-windowed fleet's keys and
+            # CELL_VERSION validation stay byte-for-byte unchanged.
+            cell["window"] = int(self.window)
+            cell["version"] = WINDOWED_CELL_VERSION
         cell["key"] = cell_hash(cell)
         return cell
 

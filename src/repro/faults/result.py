@@ -9,6 +9,13 @@ the engines record at every applied event: latency samples are appended
 in a shared deterministic order, so splitting the stream at the first
 mark cleanly separates pre-fault from post-fault packets in both
 engines, bit-identically.
+
+When the run was collected through a windowed driver
+(:func:`repro.flitsim.telemetry.run_with_timeseries`), the result also
+carries *recovery* analytics derived from the window series
+(:func:`repro.obs.timeseries.fault_recovery`): pre-fault baseline
+throughput and how many cycles the network took to return to it — a
+time-resolved upgrade over the single pre/post split.
 """
 
 from __future__ import annotations
@@ -54,6 +61,10 @@ class FaultResult:
     pre_fault_latencies: np.ndarray
     #: measured packet latencies from the first applied event on
     post_fault_latencies: np.ndarray
+    #: window-series recovery analytics (None unless the run was
+    #: collected through a windowed driver): fault_cycle, fault_window,
+    #: baseline, recovered_window, recovery_cycles
+    recovery: "dict | None" = None
 
     @property
     def pre_fault_avg_latency(self) -> float:
@@ -86,7 +97,7 @@ class FaultResult:
         def _safe(x: float):
             return None if x != x else x
 
-        return {
+        doc = {
             "fault_timeline": self.timeline,
             "fault_events": self.num_events,
             "fault_applied_events": self.applied_events,
@@ -100,14 +111,29 @@ class FaultResult:
             "post_fault_avg_latency": _safe(self.post_fault_avg_latency),
             "post_fault_p99_latency": _safe(self.post_fault_p99_latency),
         }
+        if self.recovery is not None:
+            # Only windowed runs carry these keys, so summaries of cells
+            # cached before time-series collection existed still compare
+            # equal to fresh non-windowed ones.
+            doc["fault_recovery_baseline"] = self.recovery["baseline"]
+            doc["fault_recovery_cycles"] = self.recovery["recovery_cycles"]
+            doc["fault_recovery_window"] = self.recovery["recovered_window"]
+        return doc
 
 
-def build_fault_result(state, stat) -> FaultResult:
+def build_fault_result(state, stat, series=None) -> FaultResult:
     """Assemble a :class:`FaultResult` after the run loop exits.
 
     ``state`` is the engine's :class:`~repro.faults.state.FaultState`,
     ``stat`` its finalized :class:`~repro.flitsim.engine.SimResult`.
+    With a :class:`~repro.obs.timeseries.WindowSeries` (windowed runs)
+    the result additionally carries throughput-recovery analytics.
     """
+    recovery = None
+    if series is not None:
+        from repro.obs.timeseries import fault_recovery
+
+        recovery = fault_recovery(series)
     lat = np.asarray(stat.latencies)
     split = state.marks[0][1] if state.marks else len(lat)
     return FaultResult(
@@ -122,4 +148,5 @@ def build_fault_result(state, stat) -> FaultResult:
         retransmitted_packets=state.retransmitted_packets,
         pre_fault_latencies=lat[:split],
         post_fault_latencies=lat[split:],
+        recovery=recovery,
     )

@@ -327,7 +327,7 @@ class FaultState:
         """Epoch transitions that actually fired during the run."""
         return self._next - 1
 
-    def build_result(self, stat):
+    def build_result(self, stat, series=None):
         from repro.faults.result import build_fault_result
 
-        return build_fault_result(self, stat)
+        return build_fault_result(self, stat, series=series)

@@ -39,7 +39,12 @@ from repro.flitsim.patterns_extra import (
     ShiftTraffic,
     HotspotTraffic,
 )
-from repro.flitsim.telemetry import LinkTelemetry, run_with_telemetry
+from repro.flitsim.telemetry import (
+    LinkTelemetry,
+    run_with_telemetry,
+    run_with_timeseries,
+    run_workload_with_timeseries,
+)
 from repro.flitsim.latency_model import LatencyModel
 
 __all__ = [
@@ -53,6 +58,8 @@ __all__ = [
     "HotspotTraffic",
     "LinkTelemetry",
     "run_with_telemetry",
+    "run_with_timeseries",
+    "run_workload_with_timeseries",
     "LatencyModel",
     "Packet",
     "NetworkSimulator",

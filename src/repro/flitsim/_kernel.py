@@ -91,6 +91,10 @@ typedef struct {
      * — the host rebinds it every cycle, so the disabled path costs one
      * predictable branch per forwarded flit. */
     int64_t *link_flits;
+    /* Windowed per-link counters (same n * Dp layout): NULL unless a
+     * time-series collector is attached; the host flushes and zeroes
+     * the array at each window boundary. */
+    int64_t *link_flits_win;
 } SimState;
 """
 
@@ -329,6 +333,8 @@ int64_t kroute(SimState *st, int64_t now, int64_t *n_ejected)
              * check below — the reference hook's accounting point. */
             if (st->link_flits)
                 st->link_flits[r * Dp + out] += 1;
+            if (st->link_flits_win)
+                st->link_flits_win[r * Dp + out] += 1;
             if (nxt == st->pkt_dst[pid])
                 out2 = OE;
             else

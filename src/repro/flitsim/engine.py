@@ -288,15 +288,25 @@ class SimulatorCore:
             self.step()
         self._stat.cycles = self.now - start
         self._measuring = False
+        self._drain(drain)
+        self.result = self._stat.finalize()
+        if self._fault is not None:
+            self.fault_result = self._fault.build_result(self._stat)
+        return self._stat
+
+    def _drain(self, drain: int) -> None:
+        """Step ``drain`` cycles at zero offered load (post-measure).
+
+        Measured packets still in flight keep recording latency samples
+        while they eject — :meth:`run` and the windowed drivers in
+        :mod:`repro.flitsim.telemetry` share this so their results stay
+        bit-identical.
+        """
         if drain:
             saved_load, self.load = self.load, 0.0
             for _ in range(drain):
                 self.step()
             self.load = saved_load
-        self.result = self._stat.finalize()
-        if self._fault is not None:
-            self.fault_result = self._fault.build_result(self._stat)
-        return self._stat
 
     def run_workload(self, max_cycles: int = 200_000):
         """Run the attached workload to completion (or ``max_cycles``).

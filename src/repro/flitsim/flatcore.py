@@ -279,6 +279,10 @@ class FlatSimulator(SimulatorCore):
         self._ltel: "np.ndarray | None" = None
         self._ltel_dp = max(fab.D, 1)
         self._ltel_buf = None
+        # Windowed sibling: flushed and zeroed at each window boundary
+        # by a time-series collector (attach_link_telemetry(windowed=True)).
+        self._ltel_win: "np.ndarray | None" = None
+        self._ltel_win_buf = None
 
         # Fault-mode state: per-(router, output-column) death mask and
         # outstanding-flit counts per packet slot (drops can retire a
@@ -349,7 +353,7 @@ class FlatSimulator(SimulatorCore):
     # ------------------------------------------------------------------
     # Per-link telemetry (observability; never perturbs results)
     # ------------------------------------------------------------------
-    def attach_link_telemetry(self) -> "np.ndarray":
+    def attach_link_telemetry(self, windowed: bool = False) -> "np.ndarray":
         """Allocate (idempotently) per-link flit counters; the array.
 
         Flat ``int64`` counters of shape ``n * max(D, 1)``, indexed
@@ -359,6 +363,12 @@ class FlatSimulator(SimulatorCore):
         reference engine's ``run_with_telemetry`` forward hook, so the
         two agree bit-exactly.  Works in both the numpy and C-kernel
         route phases; attaching never changes simulation results.
+
+        With ``windowed=True`` a second counter array of the same shape
+        is allocated alongside: it ticks at the identical grant point
+        but is read out and zeroed at window boundaries via
+        :meth:`flush_window_link_counts`, while the cumulative array
+        keeps the whole-run totals.
         """
         if self._ltel is None:
             self._ltel = np.zeros(
@@ -367,6 +377,14 @@ class FlatSimulator(SimulatorCore):
             if self._kernel is not None:
                 self._ltel_buf = self._kernel.ffi.from_buffer(
                     "int64_t[]", self._ltel
+                )
+        if windowed and self._ltel_win is None:
+            self._ltel_win = np.zeros(
+                self.fab.n * self._ltel_dp, dtype=np.int64
+            )
+            if self._kernel is not None:
+                self._ltel_win_buf = self._kernel.ffi.from_buffer(
+                    "int64_t[]", self._ltel_win
                 )
         return self._ltel
 
@@ -385,6 +403,39 @@ class FlatSimulator(SimulatorCore):
             r, out = divmod(i, self._ltel_dp)
             counts[(r, int(fab.nbr_mat[r, out]))] = int(self._ltel[i])
         return counts
+
+    def flush_window_link_counts(self) -> dict:
+        """Drain the windowed counters: nonzero ``{(u, v): flits}``.
+
+        Reads the per-window array (nonzero entries only, keyed like
+        :meth:`link_flit_counts`) and zeroes it for the next window.
+        Empty when windowed telemetry was never attached.
+        """
+        if self._ltel_win is None:
+            return {}
+        fab = self.fab
+        counts = {}
+        for i in np.flatnonzero(self._ltel_win).tolist():
+            r, out = divmod(i, self._ltel_dp)
+            counts[(r, int(fab.nbr_mat[r, out]))] = int(self._ltel_win[i])
+        self._ltel_win[:] = 0
+        return counts
+
+    def sampled_occupancy_total(self) -> int:
+        """Total buffered flits across all real ports, as one int.
+
+        The same credit-derived quantity ``run_with_telemetry`` samples
+        per port, summed — the reference engine's
+        ``sampled_occupancy_total`` computes it port by port, and the
+        per-port values are already pinned bit-equal, so the totals
+        agree exactly.
+        """
+        fab = self.fab
+        if fab.D == 0:
+            return 0
+        cap = self.config.port_capacity
+        port_mask = np.arange(self._ltel_dp)[None, :] < fab.deg[:, None]
+        return int((cap - self.credits.sum(axis=2))[port_mask].sum())
 
     # ------------------------------------------------------------------
     # C kernel plumbing
@@ -467,6 +518,7 @@ class FlatSimulator(SimulatorCore):
         # Link telemetry binds per cycle (measure window only); outside
         # it the kernel sees NULL and skips counting entirely.
         st.link_flits = ffi.NULL
+        st.link_flits_win = ffi.NULL
         self._st_refs = refs
 
     # ------------------------------------------------------------------
@@ -909,10 +961,15 @@ class FlatSimulator(SimulatorCore):
         if fwd.size:
             fl = flit[fwd]
             r_f, out_f = r_w[fwd], out_w[fwd]
-            if self._ltel is not None and self._measuring:
+            if self._measuring:
                 # Count at grant time, before fault doom filtering — the
                 # reference telemetry hook's accounting point.
-                np.add.at(self._ltel, r_f * self._ltel_dp + out_f, 1)
+                if self._ltel is not None:
+                    np.add.at(self._ltel, r_f * self._ltel_dp + out_f, 1)
+                if self._ltel_win is not None:
+                    np.add.at(
+                        self._ltel_win, r_f * self._ltel_dp + out_f, 1
+                    )
             hop_f = hop_w[fwd]
             nxt_r = fab.nbr_mat[r_f, out_f]
             in_next = fab.rev_mat[r_f, out_f]
@@ -1113,6 +1170,12 @@ class FlatSimulator(SimulatorCore):
             # it the kernel sees NULL and skips the increment branch.
             self._st.link_flits = (
                 self._ltel_buf if self._measuring else self._kernel.ffi.NULL
+            )
+        if self._ltel_win_buf is not None:
+            self._st.link_flits_win = (
+                self._ltel_win_buf
+                if self._measuring
+                else self._kernel.ffi.NULL
             )
         lib.kfeed(self._st, self.now)
         n_tail = lib.kroute(self._st, self.now, self._n_ej)

@@ -501,6 +501,22 @@ class NetworkSimulator(SimulatorCore):
         self.credits[r][out][dvc] -= 1
         self._enqueue_voq(nxt, in_port, nxt_flit)
 
+    def sampled_occupancy_total(self) -> int:
+        """Total buffered flits across all real ports, as one int.
+
+        Sums the same credit-derived per-port occupancy that
+        ``run_with_telemetry`` samples; the flat engine's
+        ``sampled_occupancy_total`` computes the identical quantity
+        vectorized, so a windowed collector fed by either engine sees
+        bit-equal samples.
+        """
+        cap = self.config.port_capacity
+        total = 0
+        for r in range(self.topo.num_routers):
+            for port in range(len(self.nbrs[r])):
+                total += cap - sum(self.credits[r][port])
+        return int(total)
+
     def step(self) -> None:
         """Advance the simulation by one cycle."""
         if self._fault is not None:

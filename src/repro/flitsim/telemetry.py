@@ -24,8 +24,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.flitsim.reference import NetworkSimulator
+from repro.obs.timeseries import TimeSeriesCollector, WindowSeries
 
-__all__ = ["LinkTelemetry", "run_with_telemetry"]
+__all__ = [
+    "LinkTelemetry",
+    "run_with_telemetry",
+    "run_with_timeseries",
+    "run_workload_with_timeseries",
+]
 
 
 @dataclass
@@ -51,6 +57,21 @@ class LinkTelemetry:
         link = max(self.link_flits, key=self.link_flits.get)
         return link, self.utilization(*link)
 
+    def _all_link_loads(self) -> np.ndarray:
+        """Flit loads over the full directed-link universe (idle = 0).
+
+        The single universe both :meth:`utilization_histogram` and
+        :meth:`gini` compute over: every directed link of the topology
+        when ``num_directed_links`` is set, falling back to the observed
+        links (floor 1) when it was left 0.
+        """
+        n = max(self.num_directed_links, len(self.link_flits), 1)
+        loads = np.zeros(n, dtype=float)
+        vals = np.fromiter(self.link_flits.values(), dtype=float,
+                           count=len(self.link_flits))
+        loads[: vals.size] = vals
+        return loads
+
     def utilization_histogram(self, bins=10) -> tuple[np.ndarray, np.ndarray]:
         """Histogram over all directed links' utilizations.
 
@@ -58,29 +79,23 @@ class LinkTelemetry:
         in the zero bin — so the counts sum to ``num_directed_links``
         (or to the number of observed links if that field was left 0).
         """
-        n = max(self.num_directed_links, len(self.link_flits), 1)
-        utils = np.zeros(n, dtype=float)
-        vals = np.fromiter(self.link_flits.values(), dtype=float,
-                           count=len(self.link_flits))
-        utils[: vals.size] = vals / max(self.cycles, 1)
+        utils = self._all_link_loads() / max(self.cycles, 1)
         return np.histogram(utils, bins=bins, range=(0, 1))
 
     def gini(self) -> float:
         """Gini coefficient of link load — 0 is perfectly balanced.
 
         Computed over *all* directed links of the topology, including the
-        idle ones: adversarial patterns under minimal routing leave most
-        links dark while saturating a few, which is exactly the imbalance
-        this measures.
+        idle ones (the same universe as :meth:`utilization_histogram`):
+        adversarial patterns under minimal routing leave most links dark
+        while saturating a few, which is exactly the imbalance this
+        measures — scoring only the observed links would miss it.
         """
-        n = max(self.num_directed_links, len(self.link_flits))
-        loads = np.zeros(n, dtype=float)
-        vals = np.fromiter(self.link_flits.values(), dtype=float,
-                           count=len(self.link_flits))
-        loads[: vals.size] = vals
+        loads = self._all_link_loads()
         loads.sort()
         if loads.sum() == 0:
             return 0.0
+        n = loads.size
         cum = np.cumsum(loads)
         return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
 
@@ -201,3 +216,230 @@ def _run_flat_telemetry(sim, warmup: int, measure: int, sample_every: int):
     }
     sim.result = sim._stat.finalize()
     return sim._stat, telemetry
+
+
+# ---------------------------------------------------------------------------
+# Windowed time series (repro.obs.timeseries drivers)
+
+
+class _RefProbe:
+    """Windowed link counting + occupancy reads for the reference engine.
+
+    Counts link grants in a ``_forward`` wrapper at the same accounting
+    point as ``run_with_telemetry`` (grant time, before fault doom
+    filtering, EJECT excluded); the window dict is copied and cleared at
+    each flush.
+    """
+
+    def __init__(self, sim: NetworkSimulator):
+        self.sim = sim
+        self.counts: dict = {}
+        self._counting = False
+        self._orig = sim._forward
+
+        def counted(r, flit, out, dvc):
+            if self._counting and out != -1:  # EJECT is -1
+                key = (r, int(sim.nbrs[r][out]))
+                self.counts[key] = self.counts.get(key, 0) + 1
+            return self._orig(r, flit, out, dvc)
+
+        sim._forward = counted
+
+    def begin(self) -> None:
+        self._counting = True
+
+    def occupancy_total(self) -> int:
+        return self.sim.sampled_occupancy_total()
+
+    def flush_links(self) -> dict:
+        counts, self.counts = self.counts, {}
+        return counts
+
+    def end(self) -> None:
+        self._counting = False
+        self.sim._forward = self._orig
+
+
+class _FlatProbe:
+    """Windowed counter arrays + occupancy reads for the flat engine.
+
+    ``attach_link_telemetry(windowed=True)`` instruments both the numpy
+    route phase and the C kernel (the ``link_flits_win`` struct field);
+    the counters tick only while the measure window is open, so no
+    explicit begin/end gating is needed here.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        sim.attach_link_telemetry(windowed=True)
+
+    def begin(self) -> None:
+        pass
+
+    def occupancy_total(self) -> int:
+        return self.sim.sampled_occupancy_total()
+
+    def flush_links(self) -> dict:
+        return self.sim.flush_window_link_counts()
+
+    def end(self) -> None:
+        pass
+
+
+def _make_probe(sim):
+    if isinstance(sim, NetworkSimulator):
+        return _RefProbe(sim)
+    from repro.flitsim.flatcore import FlatSimulator
+
+    if isinstance(sim, FlatSimulator):
+        return _FlatProbe(sim)
+    raise TypeError(
+        "time-series collection instruments the reference or flat engine; "
+        f"got {type(sim).__name__}"
+    )
+
+
+def _dropped(sim) -> int:
+    return sim._fault.dropped_flits if sim._fault is not None else 0
+
+
+def _close_window(sim, col, probe, end, start, marks_seen):
+    """Close one window at measure-relative ``end``; new marks cursor."""
+    faults = []
+    if sim._fault is not None:
+        new = sim._fault.marks[marks_seen:]
+        marks_seen = len(sim._fault.marks)
+        faults = [c - start for c, _ in new]
+    col.close_window(
+        end,
+        sim._stat.injected_flits,
+        sim._stat.ejected_flits,
+        _dropped(sim),
+        sim._stat.latencies,
+        probe.flush_links(),
+        faults,
+    )
+    return marks_seen
+
+
+def run_with_timeseries(
+    sim,
+    warmup: int = 300,
+    measure: int = 600,
+    window: int = 64,
+    sample_every: int = 8,
+    top_links: int = 8,
+    drain: int = 300,
+):
+    """Run ``sim`` open-loop, collecting a windowed time series.
+
+    Returns ``(SimResult, WindowSeries)``.  The run protocol is
+    :meth:`~repro.flitsim.engine.SimulatorCore.run` exactly — fault
+    ``begin_run``, warmup, measure, zero-load drain, finalize — so the
+    returned :class:`SimResult` is bit-identical to an uninstrumented
+    ``run()`` with the same phases.  On top, the measure phase is split
+    into ``window``-cycle windows (the last may be shorter): per-window
+    injected/ejected/dropped deltas, latency percentiles, occupancy
+    samples every ``sample_every`` cycles, per-link flit counts (top
+    ``top_links`` by heat plus the total), and fault-event markers.
+    Window records are bit-identical across the reference engine, the
+    numpy flat path, and the C kernel.  Latencies recorded during the
+    drain (measured packets still in flight) intentionally fall outside
+    all windows.  When faults are attached, the simulator's
+    ``fault_result`` gains series-derived recovery analytics.
+    """
+    probe = _make_probe(sim)
+    if sim._wl is not None:
+        raise RuntimeError("this simulator drives a workload; "
+                           "use run_workload_with_timeseries()")
+    if sim._fault is not None:
+        sim._fault.begin_run(sim.policy)
+    for _ in range(warmup):
+        sim.step()
+    probe.begin()
+    sim._measuring = True
+    start = sim.now
+    col = TimeSeriesCollector(window, top_links=top_links, start_cycle=start)
+    col.prime(
+        sim._stat.injected_flits,
+        sim._stat.ejected_flits,
+        _dropped(sim),
+        len(sim._stat.latencies),
+    )
+    marks_seen = len(sim._fault.marks) if sim._fault is not None else 0
+    for i in range(measure):
+        sim.step()
+        if i % sample_every == 0:
+            col.occupancy_sample(probe.occupancy_total())
+        if (i + 1) % window == 0 or (i + 1) == measure:
+            marks_seen = _close_window(
+                sim, col, probe, i + 1, start, marks_seen
+            )
+    sim._stat.cycles = sim.now - start
+    sim._measuring = False
+    probe.end()
+    sim._drain(drain)
+    sim.result = sim._stat.finalize()
+    if sim._fault is not None:
+        sim.fault_result = sim._fault.build_result(
+            sim._stat, series=col.series
+        )
+    return sim._stat, col.series
+
+
+def run_workload_with_timeseries(
+    sim,
+    window: int = 64,
+    sample_every: int = 8,
+    top_links: int = 8,
+    max_cycles: int = 200_000,
+):
+    """Run the attached workload, collecting a windowed time series.
+
+    Returns ``(WorkloadResult, WindowSeries)``.  Mirrors
+    :meth:`~repro.flitsim.engine.SimulatorCore.run_workload` (measured
+    from cycle 0, exits when the collective completes or at
+    ``max_cycles``) while closing a window every ``window`` cycles plus
+    a final partial window at completion.
+    """
+    if sim._wl is None:
+        raise RuntimeError(
+            "no workload attached; pass workload= at construction"
+        )
+    from repro.workloads.result import build_workload_result
+
+    probe = _make_probe(sim)
+    if sim._fault is not None:
+        sim._fault.begin_run(sim.policy)
+    probe.begin()
+    sim._measuring = True
+    state = sim._wl
+    start = sim.now
+    col = TimeSeriesCollector(window, top_links=top_links, start_cycle=start)
+    col.prime(
+        sim._stat.injected_flits,
+        sim._stat.ejected_flits,
+        _dropped(sim),
+        len(sim._stat.latencies),
+    )
+    marks_seen = len(sim._fault.marks) if sim._fault is not None else 0
+    i = 0
+    while not state.done and sim.now < max_cycles:
+        sim.step()
+        if i % sample_every == 0:
+            col.occupancy_sample(probe.occupancy_total())
+        i += 1
+        if i % window == 0:
+            marks_seen = _close_window(sim, col, probe, i, start, marks_seen)
+    if i % window != 0 and i > 0:
+        marks_seen = _close_window(sim, col, probe, i, start, marks_seen)
+    sim._stat.cycles = sim.now
+    sim._measuring = False
+    probe.end()
+    sim._stat.finalize()
+    if sim._fault is not None:
+        sim.fault_result = sim._fault.build_result(
+            sim._stat, series=col.series
+        )
+    sim.workload_result = build_workload_result(state, sim._stat, sim.topo)
+    return sim.workload_result, col.series

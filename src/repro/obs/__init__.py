@@ -35,7 +35,8 @@ One JSON object per line.  Common fields on every record::
 Event names and their extra fields:
 
 ``sweep.start``     spec_hash, cells, cached, workers, chunks
-``sweep.progress``  done, total, eta_s, cache_hits, cache_misses,
+``sweep.progress``  done, total, eta_s, cells_per_s (sliding-window
+                    completion rate), cache_hits, cache_misses,
                     retries, pool_restarts
 ``sweep.end``       done, total, retries, pool_restarts, failed
 ``chunk.dispatch``  chunk, cells, attempt
@@ -47,6 +48,27 @@ Event names and their extra fields:
 ``cell.quarantine`` key, error
 ``cell.telemetry``  key, cycles, top_links=[[u, v, flits], ...]
                     (sampled; per-link counts from the flat engine)
+``ts.window``       one record per closed time-series window (emitted
+                    by windowed sweep cells; see
+                    :mod:`repro.obs.timeseries`):
+
+                    * ``key`` — cell key prefix (groups a series)
+                    * ``index`` — window ordinal within the run
+                    * ``start``, ``end`` — measure-relative cycle
+                      bounds (end exclusive); ``window`` the nominal
+                      width, ``start_cycle`` the absolute cycle of
+                      measure-relative 0
+                    * ``injected``, ``ejected``, ``dropped`` — flit
+                      deltas within the window
+                    * ``lat_count``, ``lat_mean``, ``lat_p50``,
+                      ``lat_p99``, ``lat_max`` — latency-sample stats
+                      (None when the window recorded no samples)
+                    * ``occ_samples``, ``occ_mean``, ``occ_max`` —
+                      sampled total buffer occupancy stats
+                    * ``link_total`` — flits over all links;
+                      ``top_links=[[u, v, flits], ...]`` the K hottest
+                    * ``faults=[cycle, ...]`` — measure-relative cycles
+                      of fault events applied inside the window
 ``cache.corrupt``   key  (artifact present but unreadable → quarantined)
 ``span``            name, secs, ok, plus caller fields.  Span names in
                     tree: ``sweep.run``, ``sweep.chunk`` (scheduler

@@ -88,6 +88,41 @@ class TestSink:
         evs = obs.read_events(tmp_path)
         assert sorted(e["n"] for e in evs) == [0, 1, 2]
 
+    def test_torn_line_mid_file_skipped(self, tmp_path):
+        # A tear does not have to be at the tail (e.g. a partial flush
+        # followed by more appends): lines after the tear still parse.
+        (tmp_path / "events-1.jsonl").write_text(
+            '{"ev": "a", "ts": 1.0, "pid": 1, "seq": 0}\n'
+            '{"ev": "torn", "ts": 2.0, "pi\n'
+            "not json at all\n"
+            "\n"
+            '{"ev": "b", "ts": 3.0, "pid": 1, "seq": 2}\n'
+        )
+        assert [e["ev"] for e in obs.read_events(tmp_path)] == ["a", "b"]
+
+    def test_out_of_order_shards_merge_on_ts_pid_seq(self, tmp_path):
+        # Two workers' shards, each internally ordered but interleaved
+        # in wall time, with a duplicate timestamp across processes:
+        # the merge is total-ordered by (ts, pid, seq).
+        (tmp_path / "events-20.jsonl").write_text(
+            '{"ev": "w2-first", "ts": 1.5, "pid": 20, "seq": 0}\n'
+            '{"ev": "w2-dup", "ts": 2.0, "pid": 20, "seq": 1}\n'
+        )
+        (tmp_path / "events-10.jsonl").write_text(
+            '{"ev": "w1-first", "ts": 1.0, "pid": 10, "seq": 0}\n'
+            '{"ev": "w1-dup", "ts": 2.0, "pid": 10, "seq": 1}\n'
+            '{"ev": "w1-dup2", "ts": 2.0, "pid": 10, "seq": 2}\n'
+            '{"ev": "w1-last", "ts": 3.0, "pid": 10, "seq": 3}\n'
+        )
+        assert [e["ev"] for e in obs.read_events(tmp_path)] == [
+            "w1-first",   # ts 1.0
+            "w2-first",   # ts 1.5
+            "w1-dup",     # ts 2.0, pid 10, seq 1
+            "w1-dup2",    # ts 2.0, pid 10, seq 2
+            "w2-dup",     # ts 2.0, pid 20
+            "w1-last",    # ts 3.0
+        ]
+
     def test_sampling(self, monkeypatch, tmp_path):
         monkeypatch.setenv(obs.OBS_ENV, f"dir={tmp_path},sample=3")
         for _ in range(9):
@@ -192,6 +227,24 @@ class TestHeartbeat:
         err = capfd.readouterr().err
         assert "[sweep]" in err
         assert "4/4 cells" in err  # the final summary line
+
+    def test_progress_event_carries_window_rate(self, monkeypatch, tmp_path,
+                                                 capfd):
+        monkeypatch.setenv(obs.OBS_ENV, f"dir={tmp_path}")
+        monkeypatch.setenv("REPRO_SWEEP_PROGRESS", "0.05")
+        SweepRunner(cache=None, max_workers=1).run(small_spec())
+        beats = [
+            e for e in obs.read_events(tmp_path) if e["ev"] == "sweep.progress"
+        ]
+        assert beats  # final() always emits a closing beat
+        for b in beats:
+            assert "cells_per_s" in b and "eta_s" in b
+            assert b["cells_per_s"] >= 0
+        # The closing beat has completed cells, so the sliding-window
+        # rate is strictly positive and the printed line shows it.
+        assert beats[-1]["done"] == 4
+        assert beats[-1]["cells_per_s"] > 0
+        assert "rate" in capfd.readouterr().err
 
     def test_no_heartbeat_by_default(self, monkeypatch, capfd):
         monkeypatch.delenv(obs.OBS_ENV, raising=False)

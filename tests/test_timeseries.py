@@ -1,0 +1,377 @@
+"""Windowed time-series telemetry: tri-engine bit-identity + analytics.
+
+The golden contract: `run_with_timeseries` / `run_workload_with_timeseries`
+close windows at identical measure-relative cycle boundaries with
+identical accounting in the reference engine, the numpy flat path, and
+the C kernel — per-window flit/link counts, latency percentiles,
+occupancy samples, and fault markers all compare equal as whole window
+records on PolarFly q=7, in open-loop, faulted, and workload modes.
+Collecting a series must not perturb the simulation itself: the
+windowed run's SimResult is bit-identical to a plain ``run()``.
+
+On top of the collector: steady-state detection, fault-recovery
+extraction, Chrome-trace export, and the ``LinkTelemetry.gini()``
+idle-link universe pin.
+"""
+
+import contextlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import PolarFly
+from repro.experiments import FAULTS, POLICIES, WORKLOADS
+from repro.experiments.runner import auto_sim_config
+from repro.faults import prepare_fault_policy
+from repro.flitsim import (
+    FlatSimulator,
+    NetworkSimulator,
+    run_with_timeseries,
+    run_workload_with_timeseries,
+)
+from repro.flitsim._kernel import load_kernel, numpy_fallback
+from repro.flitsim.telemetry import LinkTelemetry
+from repro.flitsim.traffic import UniformTraffic
+from repro.obs.timeseries import (
+    TimeSeriesCollector,
+    WindowSeries,
+    chrome_trace,
+    chrome_trace_from_events,
+    fault_recovery,
+    steady_state_window,
+    write_chrome_trace,
+)
+from repro.routing.tables import RoutingTables
+
+WINDOW = dict(warmup=120, measure=240, window=64, sample_every=8, drain=80)
+FAULT_SPEC = "linkflap:count=3,cycle=150,duration=120,seed=1"
+
+
+def flat_variants():
+    """(label, context factory, expects kernel) for both flat cycle paths."""
+    variants = [("flat-numpy", numpy_fallback, False)]
+    if load_kernel() is not None:
+        variants.append(("flat-kernel", contextlib.nullcontext, True))
+    return variants
+
+
+@pytest.fixture(scope="module")
+def pf():
+    return PolarFly(7, concentration=2)
+
+
+@pytest.fixture(scope="module")
+def tables(pf):
+    return RoutingTables(pf)
+
+
+def build(pf, tables, cls, policy_spec="min", load=0.5, seed=7,
+          fault_spec=None, workload_spec=None):
+    policy = POLICIES.create(policy_spec, tables)
+    faults = None
+    if fault_spec is not None:
+        faults = FAULTS.create(fault_spec, pf)
+        prepare_fault_policy(policy, faults, pf)
+    workload = (
+        WORKLOADS.create(workload_spec, pf) if workload_spec else None
+    )
+    traffic = None if workload_spec else UniformTraffic(pf)
+    return cls(
+        pf, policy, traffic, 0.0 if workload_spec else load,
+        config=auto_sim_config(policy), seed=seed, faults=faults,
+        workload=workload,
+    )
+
+
+def assert_results_identical(a, b):
+    assert a.injected_flits == b.injected_flits
+    assert a.ejected_flits == b.ejected_flits
+    assert a.cycles == b.cycles
+    assert np.array_equal(np.asarray(a.latencies), np.asarray(b.latencies))
+    assert np.array_equal(np.asarray(a.hop_counts), np.asarray(b.hop_counts))
+
+
+class TestTriEngineGolden:
+    """Per-window records bit-identical across all three cycle paths."""
+
+    @pytest.mark.parametrize(
+        "policy_spec,load", [("min", 0.5), ("ugal-pf", 0.6)],
+        ids=["min", "ugal-pf"],
+    )
+    def test_open_loop_windows_match(self, pf, tables, policy_spec, load):
+        ref = build(pf, tables, NetworkSimulator, policy_spec, load)
+        ref_res, ref_series = run_with_timeseries(ref, **WINDOW)
+        assert len(ref_series) == 4  # ceil(240 / 64)
+        for label, ctx, expects_kernel in flat_variants():
+            with ctx():
+                flat = build(pf, tables, FlatSimulator, policy_spec, load)
+            assert (flat._kernel is not None) == expects_kernel, label
+            flat_res, flat_series = run_with_timeseries(flat, **WINDOW)
+            assert_results_identical(ref_res, flat_res)
+            # Whole window records, not just headline counts: link
+            # maps, percentiles, occupancy stats, boundaries.
+            assert flat_series.summary() == ref_series.summary(), label
+        # Windows tile the measure phase exactly, deltas conserve.
+        bounds = [(w["start"], w["end"]) for w in ref_series.windows]
+        assert bounds == [(0, 64), (64, 128), (128, 192), (192, 240)]
+        assert (
+            sum(w["ejected"] for w in ref_series.windows)
+            == ref_res.ejected_flits
+        )
+        assert all(w["link_total"] > 0 for w in ref_series.windows)
+
+    def test_faulted_windows_match_and_carry_markers(self, pf, tables):
+        ref = build(pf, tables, NetworkSimulator, "ugal-pf", load=0.4,
+                    fault_spec=FAULT_SPEC)
+        _, ref_series = run_with_timeseries(ref, **WINDOW)
+        assert ref_series.fault_cycles(), "events must land in measure"
+        for label, ctx, _ in flat_variants():
+            with ctx():
+                flat = build(pf, tables, FlatSimulator, "ugal-pf", load=0.4,
+                             fault_spec=FAULT_SPEC)
+            _, flat_series = run_with_timeseries(flat, **WINDOW)
+            assert flat_series.summary() == ref_series.summary(), label
+            assert flat._fault.dropped_flits > 0, label
+            # The series feeds recovery analytics into the fault result.
+            assert flat.fault_result.recovery is not None
+            summary = flat.fault_result.summary()
+            assert "fault_recovery_cycles" in summary
+
+    def test_workload_windows_match(self, pf, tables):
+        wl = "allreduce:algo=ring,size=64"
+        ref = build(pf, tables, NetworkSimulator, "ugal-pf",
+                    workload_spec=wl)
+        ref_res, ref_series = run_workload_with_timeseries(
+            ref, window=64, sample_every=8
+        )
+        assert len(ref_series) >= 2
+        for label, ctx, _ in flat_variants():
+            with ctx():
+                flat = build(pf, tables, FlatSimulator, "ugal-pf",
+                             workload_spec=wl)
+            flat_res, flat_series = run_workload_with_timeseries(
+                flat, window=64, sample_every=8
+            )
+            assert flat_series.summary() == ref_series.summary(), label
+            assert flat_res.cycles == ref_res.cycles
+        # The final (possibly partial) window ends at the completion
+        # cycle and the deltas cover every ejected flit.
+        assert ref_series.windows[-1]["end"] == ref_res.cycles
+        assert (
+            sum(w["ejected"] for w in ref_series.windows)
+            == ref_res.ejected_flits
+        )
+
+
+class TestNonPerturbation:
+    """Collecting a series never changes what is simulated."""
+
+    @pytest.mark.parametrize("fault_spec", [None, FAULT_SPEC],
+                             ids=["clean", "faulted"])
+    def test_windowed_result_equals_plain_run(self, pf, tables, fault_spec):
+        plain = build(pf, tables, FlatSimulator, "ugal-pf",
+                      fault_spec=fault_spec)
+        plain_res = plain.run(warmup=120, measure=240, drain=80)
+        windowed = build(pf, tables, FlatSimulator, "ugal-pf",
+                         fault_spec=fault_spec)
+        win_res, series = run_with_timeseries(windowed, **WINDOW)
+        assert_results_identical(plain_res, win_res)
+        assert len(series) == 4
+        if fault_spec:
+            a, b = plain.fault_result.summary(), windowed.fault_result.summary()
+            # The windowed run adds recovery keys on top of an otherwise
+            # identical summary.
+            assert {k: v for k, v in b.items()
+                    if not k.startswith("fault_recovery_")} == a
+            assert "fault_recovery_cycles" not in a
+
+    def test_rejects_wrong_loop_kind(self, pf, tables):
+        open_loop = build(pf, tables, FlatSimulator)
+        with pytest.raises(RuntimeError):
+            run_workload_with_timeseries(open_loop)
+        with pytest.raises(TypeError):
+            run_with_timeseries(object())
+
+
+def make_series(rates, window=10, faults=None):
+    """A synthetic WindowSeries with given per-window ejected counts."""
+    s = WindowSeries(window=window, top_links=4)
+    for i, r in enumerate(rates):
+        s.windows.append({
+            "index": i, "start": i * window, "end": (i + 1) * window,
+            "injected": r, "ejected": r, "dropped": 0,
+            "latency": {"count": r, "mean": 10.0, "p50": 10.0,
+                        "p99": 20.0, "max": 25.0},
+            "occupancy": {"count": 2, "mean": 5.0, "p50": 5.0,
+                          "p99": 6.0, "max": 6.0},
+            "link_total": r, "top_links": [],
+            "faults": list((faults or {}).get(i, [])),
+        })
+    return s
+
+
+class TestAnalytics:
+    def test_collector_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            TimeSeriesCollector(0)
+
+    def test_steady_state_detects_warmup_knee(self):
+        # One cold warmup window, then flat: the cumulative mean's
+        # relative step drops below 5% from window 5 onward.
+        series = make_series([100] + [1000] * 9)
+        assert steady_state_window(series, tol=0.05, consecutive=3) == 5
+        # A flat series is steady (almost) immediately; a short or
+        # never-settling one reports None.
+        assert steady_state_window(make_series([50] * 6)) == 1
+        assert steady_state_window(make_series([50, 51])) is None
+        ramp = make_series([2 ** i for i in range(8)])
+        assert steady_state_window(ramp, tol=0.01) is None
+
+    def test_fault_recovery_extracts_baseline_and_recovery(self):
+        series = make_series(
+            [100, 100, 100, 40, 60, 96, 100],
+            faults={3: [31]},
+        )
+        rec = fault_recovery(series, tol=0.1)
+        assert rec["fault_cycle"] == 31
+        assert rec["fault_window"] == 3
+        assert rec["baseline"] == pytest.approx(10.0)  # per-cycle rate
+        assert rec["recovered_window"] == 5  # 96 >= 0.9 * 100
+        assert rec["recovery_cycles"] == 60 - 31
+
+    def test_fault_recovery_edge_cases(self):
+        assert fault_recovery(make_series([10, 10])) is None  # no faults
+        # Fault in window 0: no pre-fault baseline to recover to.
+        rec = fault_recovery(make_series([10, 10], faults={0: [2]}))
+        assert rec["baseline"] is None and rec["recovery_cycles"] is None
+        # Throughput never comes back: recovery is None, not a lie.
+        rec = fault_recovery(
+            make_series([100, 100, 20, 20, 20], faults={2: [21]})
+        )
+        assert rec["recovered_window"] is None
+
+    def test_series_round_trips_through_summary(self):
+        series = make_series([10, 20, 30], faults={1: [15]})
+        clone = WindowSeries.from_summary(
+            json.loads(json.dumps(series.summary()))
+        )
+        assert clone.summary() == series.summary()
+        assert clone.values("ejected") == [10, 20, 30]
+        assert clone.rates("ejected") == [1.0, 2.0, 3.0]
+
+
+class TestChromeTrace:
+    def test_trace_structure(self, tmp_path):
+        series = make_series([10, 20], faults={1: [15]})
+        doc = chrome_trace(series, name="test")
+        evs = doc["traceEvents"]
+        assert evs[0]["ph"] == "M"
+        counters = [e for e in evs if e["ph"] == "C"]
+        faults = [e for e in evs if e["ph"] == "i"]
+        assert {c["name"] for c in counters} == {
+            "flits", "latency", "occupancy", "link_flits"
+        }
+        assert len(faults) == 1 and faults[0]["ts"] == 15
+        assert faults[0]["s"] == "g"
+        path = write_chrome_trace(series, str(tmp_path / "trace.json"))
+        assert json.load(open(path))["traceEvents"]
+
+    def test_trace_from_jsonl_events(self):
+        events = [
+            {"ev": "ts.window", "key": "abc", "index": 1, "start": 10,
+             "end": 20, "ejected": 5, "injected": 5, "dropped": 0,
+             "lat_p50": 9.0, "lat_p99": 14.0, "occ_mean": 3.0,
+             "link_total": 5, "faults": [12]},
+            {"ev": "ts.window", "key": "abc", "index": 0, "start": 0,
+             "end": 10, "ejected": 4, "injected": 4, "dropped": 0,
+             "lat_p50": 8.0, "lat_p99": 12.0, "occ_mean": 2.0,
+             "link_total": 4, "faults": []},
+            {"ev": "span", "name": "noise"},
+        ]
+        doc = chrome_trace_from_events(events)
+        evs = doc["traceEvents"]
+        flits = [e for e in evs if e.get("name") == "flits"]
+        # Out-of-order records are re-ordered by window index.
+        assert [e["ts"] for e in flits] == [0, 10]
+        assert sum(e.get("ph") == "i" for e in evs) == 1
+        assert chrome_trace_from_events([]) == {
+            "traceEvents": [], "displayTimeUnit": "ms"
+        }
+
+
+class TestWindowedSweepCells:
+    """Windowed cells persist their series; plain cells are untouched."""
+
+    def _spec(self, **overrides):
+        from repro.experiments import ExperimentSpec
+
+        kwargs = dict(
+            loads=(0.4,), root_seed=7, warmup=100, measure=240, drain=80,
+        )
+        kwargs.update(overrides)
+        return ExperimentSpec.grid(
+            ["polarfly:conc=2,q=5"], ["min"], ["uniform"], **kwargs
+        )
+
+    def test_windowed_cell_version_and_key(self):
+        from repro.experiments.spec import CELL_VERSION, WINDOWED_CELL_VERSION
+
+        plain = self._spec().cells()[0]
+        windowed = self._spec(window=60).cells()[0]
+        assert plain["version"] == CELL_VERSION
+        assert "window" not in plain
+        assert windowed["version"] == WINDOWED_CELL_VERSION
+        assert windowed["window"] == 60
+        # Different keys: enabling windows refreshes the artifact
+        # without invalidating the non-windowed fleet.
+        assert windowed["key"] != plain["key"]
+
+    def test_series_persists_through_cache(self, tmp_path):
+        from repro.experiments import ResultCache, SweepRunner
+
+        spec = self._spec(window=60)
+        cache = ResultCache(tmp_path / "cache")
+        with SweepRunner(cache=cache, max_workers=1) as runner:
+            first = runner.run(spec)
+        (stats,) = first.cells.values()
+        series = WindowSeries.from_summary(stats["timeseries"])
+        assert len(series) == 4  # ceil(240 / 60)
+        assert sum(series.values("ejected")) > 0
+        assert stats["steady_state_window"] == steady_state_window(series)
+        # Replay from cache: bit-identical, including the series.
+        with SweepRunner(cache=cache, max_workers=1) as runner:
+            second = runner.run(spec)
+        assert second.cells == first.cells
+        assert second.cache_hits == 1
+        # Non-windowed cells never grow the new stats keys.
+        with SweepRunner(cache=None, max_workers=1) as runner:
+            (plain_stats,) = runner.run(self._spec()).cells.values()
+        assert "timeseries" not in plain_stats
+        assert "steady_state_window" not in plain_stats
+
+
+class TestGiniUniverse:
+    """Satellite pin: gini() covers the same universe as the histogram."""
+
+    def test_idle_links_count_in_gini(self):
+        # 2 hot links out of a 10-link universe: heavily imbalanced.
+        tel = LinkTelemetry(
+            cycles=100, num_directed_links=10,
+            link_flits={(0, 1): 100, (1, 0): 100},
+        )
+        observed_only = LinkTelemetry(
+            cycles=100, num_directed_links=0,
+            link_flits={(0, 1): 100, (1, 0): 100},
+        )
+        assert observed_only.gini() == 0.0  # perfectly even over 2 links
+        assert tel.gini() == pytest.approx(0.8)  # 8 idle links included
+        # Same universe as the histogram: counts sum to all links.
+        counts, _ = tel.utilization_histogram()
+        assert counts.sum() == 10
+
+    def test_empty_telemetry_is_balanced(self):
+        tel = LinkTelemetry(cycles=100)
+        assert tel.gini() == 0.0
+        counts, _ = tel.utilization_histogram()
+        assert counts.sum() == 1  # the floor universe

@@ -4,7 +4,7 @@
     PYTHONPATH=src python tools/bench.py [--out PATH] [--measure N]
         [--warmup N] [--cells name,name] [--check RATIO]
         [--no-construction] [--check-construction SLACK]
-        [--no-sweep-resilience] [--no-obs-overhead]
+        [--no-sweep-resilience] [--no-obs-overhead] [--no-ts-overhead]
 
 ``--check RATIO`` exits nonzero when any benchmarked cell's
 flat-over-reference speedup falls below RATIO — the CI perf job runs
@@ -21,7 +21,11 @@ scheduler's clean-path overhead exceeds its committed gate.  The
 ``obs_overhead`` section likewise times the fully instrumented serial
 sweep path with ``$REPRO_OBS`` unset against a bare ``run_cell`` loop;
 ``--check`` fails the run when disabled observability costs more than
-its committed gate (1.03x).
+its committed gate (1.03x).  The ``ts_overhead`` section times the
+windows-off ``run_cell`` path against the seed execution spine (a
+direct ``make_simulator(...).run(...)`` loop); ``--check`` fails the
+run when dormant time-series collection costs more than its committed
+gate (1.05x).
 
 ``--check-construction SLACK`` guards the construction trajectory: the
 previously committed ``--out`` file is read *before* it is overwritten,
@@ -107,6 +111,11 @@ def main(argv=None) -> int:
         help="skip the observability-overhead cell",
     )
     parser.add_argument(
+        "--no-ts-overhead",
+        action="store_true",
+        help="skip the time-series (windows-off) overhead cell",
+    )
+    parser.add_argument(
         "--check-construction",
         type=float,
         default=None,
@@ -146,6 +155,7 @@ def main(argv=None) -> int:
         scale=not args.no_scale,
         sweep_resilience=not args.no_sweep_resilience,
         obs_overhead=not args.no_obs_overhead,
+        ts_overhead=not args.no_ts_overhead,
     )
     path = write_bench_json(doc, args.out)
 
@@ -273,6 +283,21 @@ def main(argv=None) -> int:
             failed.append(
                 f"obs_overhead: disabled-path observability overhead "
                 f"{overhead:.2f}x > allowed {ob['max_overhead']:.2f}x"
+            )
+
+    ts = doc.get("ts_overhead")
+    if ts:
+        overhead = ts["overhead_off_vs_seed"]
+        print(
+            f"{'ts_overhead':28s} windows-off {ts['windows_off_s']:.2f} s   "
+            f"seed {ts['bare_s']:.2f} s   overhead {overhead:.2f}x "
+            f"(gate {ts['max_overhead']:.2f}x)   windowed "
+            f"{ts['overhead_on_vs_off']:.2f}x (informational)"
+        )
+        if args.check is not None and overhead > ts["max_overhead"]:
+            failed.append(
+                f"ts_overhead: windows-off time-series overhead "
+                f"{overhead:.2f}x > allowed {ts['max_overhead']:.2f}x"
             )
 
     if args.check_construction is not None and not args.no_construction:

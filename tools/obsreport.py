@@ -2,6 +2,7 @@
 """Render a run report from ``repro.obs`` JSONL event shards.
 
     PYTHONPATH=src python tools/obsreport.py DIR [--top N] [--json]
+        [--trace out.json]
 
 Reads every ``events-*.jsonl`` shard under DIR (one per process, merged
 and time-ordered by :func:`repro.obs.read_events`) and prints:
@@ -16,9 +17,15 @@ and time-ordered by :func:`repro.obs.read_events`) and prints:
   cache hit ratio;
 * the hottest links — per-link flit counts aggregated (max across
   events) from worker ``cell.telemetry`` records;
+* per-cell timelines — sparkline terminal views of the windowed
+  ``ts.window`` series (ejected flits per window, with fault markers),
+  when windowed cells ran;
 * the final ``counters`` registry snapshot, when one was emitted.
 
 ``--json`` emits the same report as one JSON document for tooling.
+``--trace out.json`` additionally exports every ``ts.window`` series as
+one Chrome-trace/Perfetto JSON file (load it in ``chrome://tracing`` or
+https://ui.perfetto.dev).
 """
 
 import argparse
@@ -55,6 +62,7 @@ def summarize(events: list, top: int = 5) -> dict:
     start = end = None
     counters = None
     links: dict = {}
+    timelines: dict = {}
     corrupt = 0
 
     for ev in events:
@@ -91,6 +99,8 @@ def summarize(events: list, top: int = 5) -> dict:
             for u, v, c in ev.get("top_links", []):
                 key = (int(u), int(v))
                 links[key] = max(links.get(key, 0), int(c))
+        elif name == "ts.window":
+            timelines.setdefault(ev.get("key") or "-", []).append(ev)
 
     for s in spans.values():
         s["mean_s"] = s["total_s"] / s["count"] if s["count"] else 0.0
@@ -124,6 +134,10 @@ def summarize(events: list, top: int = 5) -> dict:
         {"u": u, "v": v, "flits": c}
         for (u, v), c in sorted(links.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
     ]
+    report["timelines"] = {
+        key: sorted(recs, key=lambda r: r.get("index", 0))
+        for key, recs in sorted(timelines.items())
+    }
     if counters:
         report["counters"] = {
             k: counters[k]
@@ -135,6 +149,47 @@ def summarize(events: list, top: int = 5) -> dict:
 
 def _fmt_ts(ts: float) -> str:
     return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(ts))
+
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list) -> str:
+    """Unicode block sparkline of a numeric series (empty-safe)."""
+    vals = [0.0 if v is None else float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK[0] * len(vals)
+    top = len(_SPARK) - 1
+    return "".join(_SPARK[round((v - lo) / span * top)] for v in vals)
+
+
+def render_timeline(key: str, recs: list) -> list:
+    """Sparkline lines for one cell's ``ts.window`` records.
+
+    One line per signal (ejected flits, p99 latency, mean occupancy),
+    with window extent and fault markers (``!`` column under windows
+    that carried a fault event) summarized alongside.
+    """
+    out = [
+        f"{key}: {len(recs)} windows x {recs[0].get('window', '?')} cycles"
+    ]
+    rows = [
+        ("ejected", [r.get("ejected") for r in recs]),
+        ("lat p99", [r.get("lat_p99") for r in recs]),
+        ("occupancy", [r.get("occ_mean") for r in recs]),
+    ]
+    for label, vals in rows:
+        known = [v for v in vals if v is not None]
+        hi = max(known) if known else 0
+        out.append(f"  {label:<10s} {sparkline(vals)}  max {hi:g}")
+    marks = "".join("!" if r.get("faults") else "." for r in recs)
+    if "!" in marks:
+        out.append(f"  {'faults':<10s} {marks}")
+    return out
 
 
 def render(report: dict) -> str:
@@ -214,6 +269,12 @@ def render(report: dict) -> str:
     else:
         out.append("(no cell.telemetry events)")
 
+    if report.get("timelines"):
+        out.append("")
+        out.append("-- timeline --")
+        for key, recs in report["timelines"].items():
+            out.extend(render_timeline(key, recs))
+
     if "counters" in report:
         out.append("")
         out.append("-- counters --")
@@ -229,6 +290,8 @@ def main(argv=None) -> int:
                         help="hottest links to show (default 5)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
+    parser.add_argument("--trace", default=None, metavar="OUT",
+                        help="write ts.window series as Chrome-trace JSON")
     args = parser.parse_args(argv)
 
     events = read_events(args.dir)
@@ -236,6 +299,14 @@ def main(argv=None) -> int:
         print(f"no events found under {args.dir}", file=sys.stderr)
         return 1
     report = summarize(events, top=args.top)
+    if args.trace:
+        from repro.obs.timeseries import (
+            chrome_trace_from_events,
+            write_chrome_trace,
+        )
+
+        path = write_chrome_trace(chrome_trace_from_events(events), args.trace)
+        print(f"wrote trace {path}", file=sys.stderr)
     if args.json:
         json.dump(report, sys.stdout, indent=2, default=str)
         print()
